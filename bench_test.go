@@ -1,0 +1,205 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§IV), plus ablation benches for the design choices
+// DESIGN.md calls out. Each benchmark runs the corresponding experiment
+// end to end and reports the headline numbers as custom metrics, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation.
+package l2fuzz_test
+
+import (
+	"testing"
+
+	"l2fuzz"
+	"l2fuzz/internal/harness"
+)
+
+// BenchmarkTableV_DeviceCatalog regenerates the testbed inventory
+// (paper Table V).
+func BenchmarkTableV_DeviceCatalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.TableV()
+		if len(rows) != 8 {
+			b.Fatalf("catalog has %d devices", len(rows))
+		}
+	}
+}
+
+// BenchmarkTableVI_VulnDetection regenerates the vulnerability-detection
+// results (paper Table VI): L2Fuzz against all eight devices, defects
+// armed. Reported metrics: vulnerabilities found and the simulated
+// seconds to the D2 (Pixel 3) detection.
+func BenchmarkTableVI_VulnDetection(b *testing.B) {
+	cfg := harness.DefaultTableVIConfig()
+	cfg.RobustBudget = 100_000 // robustness is binary; keep benches brisk
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.TableVI(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		found := 0
+		var d2Seconds float64
+		for _, r := range rows {
+			if r.Vuln {
+				found++
+			}
+			if r.Device == "D2" {
+				d2Seconds = r.Elapsed.Seconds()
+			}
+		}
+		if found != 5 {
+			b.Fatalf("found %d vulnerabilities, want 5", found)
+		}
+		b.ReportMetric(float64(found), "vulns")
+		b.ReportMetric(d2Seconds, "simsec/D2")
+	}
+}
+
+// BenchmarkTableVII_MutationEfficiency regenerates the mutation-
+// efficiency comparison (paper Table VII) at the paper's 100,000-packet
+// budget. Reported metrics: L2Fuzz's MP ratio, PR ratio and efficiency
+// in percent (paper: 69.96 / 32.49 / 47.22).
+func BenchmarkTableVII_MutationEfficiency(b *testing.B) {
+	cfg := harness.DefaultTableVIIConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.TableVII(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Fuzzer == harness.NameL2Fuzz {
+				b.ReportMetric(100*r.Summary.MPRatio, "MP%")
+				b.ReportMetric(100*r.Summary.PRRatio, "PR%")
+				b.ReportMetric(100*r.Summary.MutationEfficiency, "eff%")
+				b.ReportMetric(r.Summary.PacketsPerSecond, "pps")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8_MPSeries regenerates the cumulative malformed-packet
+// series (paper Figure 8). Reported metric: L2Fuzz's final cumulative
+// malformed count (paper: 69,966 of 100,000).
+func BenchmarkFig8_MPSeries(b *testing.B) {
+	cfg := harness.DefaultFigureConfig()
+	for i := 0; i < b.N; i++ {
+		series, err := harness.Figure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			if s.Fuzzer == harness.NameL2Fuzz && len(s.Points) > 0 {
+				b.ReportMetric(float64(s.Points[len(s.Points)-1].Y), "malformed")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9_PRSeries regenerates the cumulative rejection series
+// (paper Figure 9). Reported metric: BFuzz's final cumulative rejection
+// count (paper: ~91,600 of 100,000 received).
+func BenchmarkFig9_PRSeries(b *testing.B) {
+	cfg := harness.DefaultFigureConfig()
+	for i := 0; i < b.N; i++ {
+		series, err := harness.Figure9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			if s.Fuzzer == harness.NameBFuzz && len(s.Points) > 0 {
+				b.ReportMetric(float64(s.Points[len(s.Points)-1].Y), "rejections")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10_StateCoverage regenerates the state-coverage bars
+// (paper Figure 10: 13 / 7 / 6 / 3) and, via the same rows, the
+// Figure 11 per-state map.
+func BenchmarkFig10_StateCoverage(b *testing.B) {
+	cfg := harness.DefaultFigureConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Figure10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Fuzzer {
+			case harness.NameL2Fuzz:
+				b.ReportMetric(float64(r.States), "L2Fuzz-states")
+			case harness.NameDefensics:
+				b.ReportMetric(float64(r.States), "Defensics-states")
+			case harness.NameBFuzz:
+				b.ReportMetric(float64(r.States), "BFuzz-states")
+			case harness.NameBSS:
+				b.ReportMetric(float64(r.States), "BSS-states")
+			}
+		}
+		if harness.RenderFigure11(rows) == "" {
+			b.Fatal("empty Figure 11")
+		}
+	}
+}
+
+// ablationRun measures one L2Fuzz variant on a measurement-grade D2.
+func ablationRun(b *testing.B, mutate func(*l2fuzz.FuzzConfig)) l2fuzz.Metrics {
+	b.Helper()
+	sim, err := l2fuzz.NewSimulation()
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := sim.AddMeasurementDevice("D2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := l2fuzz.FuzzConfig{Seed: 11, MaxPackets: 40_000}
+	mutate(&cfg)
+	if _, err := sim.RunL2Fuzz(target, cfg); err != nil {
+		b.Fatal(err)
+	}
+	return sim.Metrics()
+}
+
+// BenchmarkAblation_Baseline is the un-ablated reference configuration
+// for the ablation benches below.
+func BenchmarkAblation_Baseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := ablationRun(b, func(*l2fuzz.FuzzConfig) {})
+		b.ReportMetric(100*m.MutationEfficiency, "eff%")
+		b.ReportMetric(float64(m.StatesCovered), "states")
+	}
+}
+
+// BenchmarkAblation_NoStateGuiding removes state guiding entirely: no
+// transition recipes, commands drawn from all 26 codes against a cold
+// link. Mutation efficiency survives (core field mutating still makes
+// valid packets) but state coverage collapses — the deep configuration,
+// move and creation states where the paper's zero-days live are never
+// reached.
+func BenchmarkAblation_NoStateGuiding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := ablationRun(b, func(c *l2fuzz.FuzzConfig) { c.NoStateGuiding = true })
+		b.ReportMetric(100*m.MutationEfficiency, "eff%")
+		b.ReportMetric(100*m.PRRatio, "PR%")
+		b.ReportMetric(float64(m.StatesCovered), "states")
+	}
+}
+
+// BenchmarkAblation_MutateAllFields scrambles dependent fields too (the
+// dumb mutation the paper argues against): transmitted packets become
+// invalid rather than valid-malformed and the MP ratio collapses.
+func BenchmarkAblation_MutateAllFields(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := ablationRun(b, func(c *l2fuzz.FuzzConfig) { c.MutateAllFields = true })
+		b.ReportMetric(100*m.MPRatio, "MP%")
+		b.ReportMetric(100*m.PRRatio, "PR%")
+	}
+}
+
+// BenchmarkAblation_NoGarbage drops the garbage tail. The D2 defect needs
+// the tail, so detection disappears entirely (verified in the unit
+// tests); here we report the residual malformed ratio.
+func BenchmarkAblation_NoGarbage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := ablationRun(b, func(c *l2fuzz.FuzzConfig) { c.NoGarbage = true })
+		b.ReportMetric(100*m.MPRatio, "MP%")
+	}
+}

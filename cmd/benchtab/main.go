@@ -1,0 +1,106 @@
+// Command benchtab regenerates the tables and figures of the paper's
+// evaluation section (§IV) from the simulation and prints them in the
+// same rows/series the paper reports.
+//
+// Usage:
+//
+//	benchtab -exp tableV
+//	benchtab -exp tableVI [-seed 11]
+//	benchtab -exp tableVII [-packets 100000]
+//	benchtab -exp fig8 | fig9 | fig10 | fig11
+//	benchtab -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"l2fuzz/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "all", "experiment: tableV, tableVI, tableVII, fig8, fig9, fig10, fig11, all")
+		seed    = flag.Int64("seed", 11, "random seed")
+		packets = flag.Int("packets", 100_000, "per-fuzzer packet budget for the comparison experiments")
+	)
+	flag.Parse()
+
+	run := map[string]bool{*exp: true}
+	if *exp == "all" {
+		for _, e := range []string{"tableV", "tableVI", "tableVII", "fig8", "fig9", "fig10", "fig11"} {
+			run[e] = true
+		}
+	}
+	ran := false
+
+	if run["tableV"] {
+		fmt.Println(harness.RenderTableV(harness.TableV()))
+		ran = true
+	}
+	if run["tableVI"] {
+		cfg := harness.DefaultTableVIConfig()
+		cfg.Seed = *seed
+		rows, err := harness.TableVI(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderTableVI(rows))
+		ran = true
+	}
+	if run["tableVII"] {
+		cfg := harness.TableVIIConfig{Seed: *seed, Packets: *packets}
+		rows, err := harness.TableVII(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderTableVII(rows))
+		ran = true
+	}
+	fcfg := harness.FigureConfig{Seed: *seed, Packets: *packets, SampleEvery: *packets / 10}
+	if run["fig8"] {
+		series, err := harness.Figure8(fcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderSeries(
+			"Figure 8: MP Ratio measurement (cumulative, log-scaled in the paper)",
+			"#Transmitted Packets", "#Transmitted Malformed Packets", series))
+		ran = true
+	}
+	if run["fig9"] {
+		series, err := harness.Figure9(fcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderSeries(
+			"Figure 9: PR Ratio measurement (cumulative)",
+			"#Received Packets", "#Received Rejection Packets", series))
+		ran = true
+	}
+	if run["fig10"] || run["fig11"] {
+		rows, err := harness.Figure10(fcfg)
+		if err != nil {
+			return err
+		}
+		if run["fig10"] {
+			fmt.Println(harness.RenderFigure10(rows))
+		}
+		if run["fig11"] {
+			fmt.Println(harness.RenderFigure11(rows))
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Command btscan runs only L2Fuzz's target-scanning phase: inquiry,
+// SDP service enumeration and pairing-free port probing, against one or
+// all of the simulated catalog devices.
+//
+// Usage:
+//
+//	btscan [-device D2]     # one device
+//	btscan -all             # the whole Table V testbed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"l2fuzz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "btscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		deviceID = flag.String("device", "D2", "catalog device ID (D1..D8)")
+		all      = flag.Bool("all", false, "scan every catalog device")
+	)
+	flag.Parse()
+
+	ids := []string{*deviceID}
+	if *all {
+		ids = []string{"D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8"}
+	}
+	for _, id := range ids {
+		// A fresh simulation per target keeps scans independent.
+		sim, err := l2fuzz.NewSimulation()
+		if err != nil {
+			return err
+		}
+		target, err := sim.AddCatalogDevice(id)
+		if err != nil {
+			return err
+		}
+		scan, err := sim.Scan(target)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s  %s  %s  class=0x%06X  OUI=%02X:%02X:%02X\n",
+			id, scan.Meta.Addr, scan.Meta.Name, scan.Meta.ClassOfDevice,
+			scan.Meta.OUI[0], scan.Meta.OUI[1], scan.Meta.OUI[2])
+		for _, p := range scan.Ports {
+			status := "open (exploitable)"
+			switch {
+			case p.RequiresPairing:
+				status = "requires pairing"
+			case p.Refused:
+				status = "refused"
+			}
+			fmt.Printf("    PSM 0x%04X  %-24s %s\n", uint16(p.PSM), p.Name, status)
+		}
+		fmt.Printf("    → %d pairing-free port(s) selected for fuzzing\n\n", len(scan.ExploitablePSMs))
+	}
+	return nil
+}

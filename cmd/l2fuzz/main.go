@@ -1,0 +1,101 @@
+// Command l2fuzz runs the L2Fuzz stateful fuzzer against one simulated
+// Bluetooth target device and reports what it found: the command-line
+// face of the paper's four-phase workflow.
+//
+// Usage:
+//
+//	l2fuzz -device D2 [-seed 1] [-max-packets 0] [-log] [-dump]
+//
+// Devices are the paper's Table V catalog IDs (D1..D8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"l2fuzz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "l2fuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		deviceID   = flag.String("device", "D2", "catalog device ID (D1..D8)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		maxPackets = flag.Int("max-packets", 0, "packet budget (0 = library default)")
+		showLog    = flag.Bool("log", false, "print the fuzzer's run log")
+		showDump   = flag.Bool("dump", true, "print the target's crash dump if one was produced")
+		campaign   = flag.Int("campaign", 0, "run a long-term campaign of up to N runs with automatic resets")
+	)
+	flag.Parse()
+
+	sim, err := l2fuzz.NewSimulation()
+	if err != nil {
+		return err
+	}
+	target, err := sim.AddCatalogDevice(*deviceID)
+	if err != nil {
+		return err
+	}
+
+	if *campaign > 0 {
+		report, err := sim.RunCampaign(target, l2fuzz.CampaignConfig{
+			Seed:    *seed,
+			MaxRuns: *campaign,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("campaign: %d runs, %d automatic resets, %d packets, %v simulated\n",
+			report.Runs, report.Resets, report.TotalPackets, report.TotalElapsed.Round(1e6))
+		for i, f := range report.Findings {
+			fmt.Printf("finding %d (×%d): %s (%s) in %v on %v\n",
+				i+1, f.Count, f.Finding.Error, f.Finding.Severity(),
+				f.Finding.State, f.Finding.PSM)
+		}
+		if len(report.Findings) == 0 {
+			fmt.Println("no findings")
+		}
+		return nil
+	}
+
+	cfg := l2fuzz.FuzzConfig{Seed: *seed, MaxPackets: *maxPackets}
+	if *showLog {
+		cfg.LogWriter = os.Stdout
+	}
+	report, err := sim.RunL2Fuzz(target, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("target:   %s (%s), %d service ports, %d exploitable\n",
+		report.Scan.Meta.Name, report.Scan.Meta.Addr,
+		len(report.Scan.Ports), len(report.Scan.ExploitablePSMs))
+	fmt.Printf("traffic:  %d packets (%d malformed) over %v simulated\n",
+		report.PacketsSent, report.MalformedSent, report.Elapsed.Round(1e6))
+	fmt.Printf("states:   %d L2CAP states tested\n", len(report.StatesTested))
+	if !report.Found {
+		fmt.Println("result:   no vulnerability detected (budget exhausted)")
+		return nil
+	}
+	fmt.Printf("result:   VULNERABILITY — %s (%s) in %v on %v\n",
+		report.Finding.Error, report.Finding.Severity(),
+		report.Finding.State, report.Finding.PSM)
+	if *showDump {
+		dump, err := sim.CrashDump(target)
+		if err != nil {
+			return err
+		}
+		if dump != "" {
+			fmt.Println("\ncrash artefact on the device:")
+			fmt.Println(dump)
+		}
+	}
+	return nil
+}

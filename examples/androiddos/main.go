@@ -1,0 +1,84 @@
+// Androiddos reproduces the paper's §IV-E case study step by step: the
+// zero-day denial of service in the Android Bluetooth stack (Android ID
+// 195112457), triggered by a malformed Configuration Request with a
+// stale DCID and a garbage tail, sent on the pairing-free SDP port.
+//
+// Unlike the quickstart, which lets the fuzzer search, this example
+// replays the exact attack flow: connect to SDP without pairing, enter
+// the configuration job, send the killer packet, watch Bluetooth die.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"l2fuzz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "androiddos:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sim, err := l2fuzz.NewSimulation()
+	if err != nil {
+		return err
+	}
+	target, err := sim.AddCatalogDevice("D2") // Pixel 3
+	if err != nil {
+		return err
+	}
+
+	// Step 1 (paper Figure 4 analogy): scan and pick the SDP port, which
+	// never requires pairing.
+	scan, err := sim.Scan(target)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("step 1: scanned %s — SDP reachable without pairing among %d ports\n",
+		scan.Meta.Name, len(scan.Ports))
+
+	// Steps 2-4: let the fuzzer run with a seed that reaches the
+	// configuration job quickly; state guiding enters the configuration
+	// states and core field mutating produces the malformed
+	// Configuration Request (DCID low byte 0x40, garbage tail) that
+	// dereferences the null channel control block.
+	report, err := sim.RunL2Fuzz(target, l2fuzz.FuzzConfig{Seed: 1})
+	if err != nil {
+		return err
+	}
+	if !report.Found {
+		return fmt.Errorf("defect did not fire in %d packets", report.PacketsSent)
+	}
+	fmt.Printf("step 2: state guiding reached the configuration job (state %v)\n",
+		report.Finding.State)
+	fmt.Printf("step 3: core field mutating produced the killer packet: %v\n",
+		report.Finding.LastMutation)
+	fmt.Printf("step 4: detection — %s, classified %s, after %v\n",
+		report.Finding.Error, report.Finding.Severity(), report.Elapsed.Round(1e6))
+
+	// The device's tombstone mirrors the paper's Figure 12: SIGSEGV in
+	// l2c_csm_execute on the L2CAP channel control block.
+	dump, err := sim.CrashDump(target)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ntombstone (paper Figure 12):")
+	fmt.Println(dump)
+
+	// Figure 13 analogy: Bluetooth is paralysed until the user resets it.
+	if crashed, _ := sim.Crashed(target); crashed {
+		fmt.Println("Bluetooth is paralysed; resetting the device (paper Figure 13)...")
+	}
+	if err := sim.ResetDevice(target); err != nil {
+		return err
+	}
+	if _, err := sim.Scan(target); err != nil {
+		return fmt.Errorf("device did not recover: %w", err)
+	}
+	fmt.Println("device recovered after manual reset")
+	return nil
+}

@@ -1,0 +1,69 @@
+// Rfcommfuzz demonstrates the paper's §V extension claim: L2Fuzz's two
+// techniques — state guiding and core field mutating — transfer to the
+// Bluetooth protocols stacked above L2CAP. Here they run against the
+// RFCOMM multiplexer of a simulated headset whose serial-port service is
+// reachable without pairing, finding a reserved-DLCI defect one layer
+// above where the original tool stops.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"l2fuzz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rfcommfuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sim, err := l2fuzz.NewSimulation()
+	if err != nil {
+		return err
+	}
+
+	// A headset exposing a pairing-free RFCOMM port with two server
+	// channels, carrying a defect in its multiplexer: a SABM addressed
+	// to a reserved DLCI with a garbage tail dereferences an unallocated
+	// DLC control block — the same bug shape as the paper's L2CAP
+	// findings, one layer up.
+	target, err := sim.AddRFCOMMDevice("headset", "8C:F5:A3:00:00:42",
+		l2fuzz.BlueDroidProfile("5.0", "vendor/headset:5.0/fp"),
+		[]l2fuzz.ServicePort{{PSM: 0x0003, Name: "RFCOMM"}},
+		[]l2fuzz.RFCOMMService{
+			{Channel: 1, Name: "Serial Port Profile"},
+			{Channel: 2, Name: "Hands-Free"},
+		},
+		true) // defect armed
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("fuzzing the RFCOMM layer: DLCI is the mutable core field,")
+	fmt.Println("EA/length/FCS are dependent fields kept valid, tails bounded")
+
+	report, err := sim.RunRFCOMMFuzz(target, 1, 0)
+	if err != nil {
+		return err
+	}
+	if !report.Found {
+		fmt.Printf("no defect found in %d frames\n", report.FramesSent)
+		return nil
+	}
+	fmt.Printf("\nDEFECT FOUND after %d frames (%v simulated)\n",
+		report.FramesSent, report.Elapsed.Round(1e6))
+	fmt.Printf("killer frame: %s\n", report.LastFrame)
+	fmt.Printf("L2CAP still alive underneath: %v (the whole service died)\n", report.L2CAPAlive)
+
+	dump, err := sim.CrashDump(target)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ndevice-side artefact:")
+	fmt.Println(dump)
+	return nil
+}

@@ -1,0 +1,153 @@
+package device
+
+import "l2fuzz/internal/bt/l2cap"
+
+// Profile captures the vendor-specific behaviour of a Bluetooth host
+// stack: how strictly it validates signaling traffic, how it runs the
+// configuration handshake, and which defects it ships.
+type Profile struct {
+	// Stack is the host stack name from Table V (BlueDroid, BlueZ, ...).
+	Stack string
+	// BTVersion is the advertised Bluetooth version string.
+	BTVersion string
+	// Fingerprint is the build string recorded in crash dumps.
+	Fingerprint string
+	// SignalingMTU is the stack's MTUsig; larger signaling packets are
+	// rejected with "Signaling MTU exceeded".
+	SignalingMTU uint16
+	// SendsOwnConfigReq makes the stack propose its own configuration
+	// immediately after accepting a connection, as BlueDroid and BlueZ
+	// do; strict stacks wait for the peer first.
+	SendsOwnConfigReq bool
+	// LenientChannelLookup makes configuration/disconnection commands
+	// addressed to unallocated CIDs resolve against the most recent
+	// configuration-phase channel instead of being rejected with
+	// "Invalid CID in request" — the sloppy channel-control-block lookup
+	// at the heart of the paper's BlueDroid and BlueZ findings.
+	LenientChannelLookup bool
+	// AcceptStrayResponses suppresses Command Reject for response
+	// commands that match no outstanding request: the Android quirk the
+	// paper reports ("some Android devices did not reject Connect Rsp in
+	// WAIT_CONNECT").
+	AcceptStrayResponses bool
+	// SupportsECRED enables enhanced credit-based commands (0x17-0x1A);
+	// stacks without it answer them with "Command not understood".
+	SupportsECRED bool
+	// TolerateLEOnACLU makes the stack silently drop LE-only signaling
+	// commands received on an ACL-U link instead of rejecting them —
+	// BlueDroid routes them to its LE signaling handler, which discards
+	// them for BR/EDR links.
+	TolerateLEOnACLU bool
+	// MaxDynamicChannels caps concurrently allocated channels; further
+	// connection requests are refused with "no resources" — the channel
+	// cap the paper blames for part of L2Fuzz's rejection ratio.
+	MaxDynamicChannels int
+	// Vulns are the injected defects.
+	Vulns []VulnSpec
+}
+
+// BlueDroidProfile models Android's BlueDroid/Fluoride stack: lenient
+// lookups, eager configuration, and the null-CCB defect.
+func BlueDroidProfile(btVersion, fingerprint string, vulns ...VulnSpec) Profile {
+	return Profile{
+		Stack:                "BlueDroid",
+		BTVersion:            btVersion,
+		Fingerprint:          fingerprint,
+		SignalingMTU:         l2cap.DefaultSignalingMTU,
+		SendsOwnConfigReq:    true,
+		LenientChannelLookup: true,
+		AcceptStrayResponses: true,
+		SupportsECRED:        false,
+		TolerateLEOnACLU:     true,
+		MaxDynamicChannels:   8,
+		Vulns:                vulns,
+	}
+}
+
+// BlueZProfile models the Linux BlueZ stack.
+func BlueZProfile(btVersion, fingerprint string, vulns ...VulnSpec) Profile {
+	return Profile{
+		Stack:                "BlueZ",
+		BTVersion:            btVersion,
+		Fingerprint:          fingerprint,
+		SignalingMTU:         l2cap.DefaultSignalingMTU,
+		SendsOwnConfigReq:    true,
+		LenientChannelLookup: true,
+		AcceptStrayResponses: false,
+		SupportsECRED:        true,
+		MaxDynamicChannels:   16,
+		Vulns:                vulns,
+	}
+}
+
+// IOSProfile models Apple's iOS stack: strict validation and exception
+// handling for malformed packets, hence no findings on D4.
+func IOSProfile(btVersion string) Profile {
+	return Profile{
+		Stack:                "iOS stack",
+		BTVersion:            btVersion,
+		SignalingMTU:         l2cap.DefaultSignalingMTU,
+		SendsOwnConfigReq:    false,
+		LenientChannelLookup: false,
+		AcceptStrayResponses: false,
+		SupportsECRED:        true,
+		MaxDynamicChannels:   12,
+	}
+}
+
+// RTKitProfile models Apple's RTKit firmware stack (AirPods): small,
+// permissive, and carrying the PSM service-kill defect.
+func RTKitProfile(btVersion string, vulns ...VulnSpec) Profile {
+	return Profile{
+		Stack:                "RTKit stack",
+		BTVersion:            btVersion,
+		SignalingMTU:         l2cap.MinACLMTU * 4,
+		SendsOwnConfigReq:    false,
+		LenientChannelLookup: true,
+		AcceptStrayResponses: true,
+		SupportsECRED:        false,
+		TolerateLEOnACLU:     true,
+		MaxDynamicChannels:   4,
+		Vulns:                vulns,
+	}
+}
+
+// BTWProfile models Broadcom's BTW stack (Galaxy Buds+): strict.
+func BTWProfile(btVersion string) Profile {
+	return Profile{
+		Stack:                "BTW",
+		BTVersion:            btVersion,
+		SignalingMTU:         l2cap.DefaultSignalingMTU,
+		SendsOwnConfigReq:    false,
+		LenientChannelLookup: false,
+		AcceptStrayResponses: false,
+		SupportsECRED:        false,
+		MaxDynamicChannels:   6,
+	}
+}
+
+// WindowsProfile models the Microsoft Windows stack: strict.
+func WindowsProfile(btVersion string) Profile {
+	return Profile{
+		Stack:                "Windows stack",
+		BTVersion:            btVersion,
+		SignalingMTU:         l2cap.DefaultSignalingMTU,
+		SendsOwnConfigReq:    false,
+		LenientChannelLookup: false,
+		AcceptStrayResponses: false,
+		SupportsECRED:        true,
+		MaxDynamicChannels:   16,
+	}
+}
+
+// ServicePort is one L2CAP service a device exposes.
+type ServicePort struct {
+	// PSM is the port number.
+	PSM l2cap.PSM
+	// Name is the human-readable service name published over SDP.
+	Name string
+	// RequiresPairing gates the port behind authentication: connection
+	// attempts from unpaired peers are refused with a security block.
+	// The SDP port never requires pairing.
+	RequiresPairing bool
+}

@@ -1,0 +1,252 @@
+package device
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"l2fuzz/internal/bt/l2cap"
+	"l2fuzz/internal/bt/sm"
+)
+
+// CrashClass is the observable severity of a triggered defect, matching
+// the Description column of the paper's Table VI.
+type CrashClass uint8
+
+const (
+	// ClassDoS terminates the Bluetooth service: the device stays up but
+	// Bluetooth is paralysed until reset (D1, D2, D3).
+	ClassDoS CrashClass = iota + 1
+	// ClassCrash terminates the device or its Bluetooth subsystem
+	// entirely and abnormally (D5, D8).
+	ClassCrash
+)
+
+func (c CrashClass) String() string {
+	switch c {
+	case ClassDoS:
+		return "DoS"
+	case ClassCrash:
+		return "Crash"
+	default:
+		return fmt.Sprintf("CrashClass(%d)", uint8(c))
+	}
+}
+
+// DumpKind is the crash artefact a defect leaves behind.
+type DumpKind uint8
+
+const (
+	// DumpNone leaves no artefact (firmware death, D5).
+	DumpNone DumpKind = iota + 1
+	// DumpTombstone is an Android tombstone file (D1, D2, D3).
+	DumpTombstone
+	// DumpGPFault is a crash dump recording a general protection error
+	// (D8).
+	DumpGPFault
+)
+
+// TriggerContext is everything a vulnerability predicate may inspect
+// about one incoming signaling command.
+type TriggerContext struct {
+	// State is the state of the channel the command was resolved against,
+	// or StateClosed when no channel is involved.
+	State sm.State
+	// Code is the signaling command code.
+	Code l2cap.CommandCode
+	// Cmd is the decoded command.
+	Cmd l2cap.Command
+	// Tail is the garbage appended beyond the declared lengths.
+	Tail []byte
+	// KnownCID reports whether the command addressed a channel endpoint
+	// the device actually allocated.
+	KnownCID bool
+}
+
+// Job is the job of the contextual state.
+func (c TriggerContext) Job() sm.Job { return sm.JobOf(c.State) }
+
+// VulnSpec is one injected implementation defect.
+type VulnSpec struct {
+	// ID names the defect, e.g. "bluedroid-ccb-null-deref".
+	ID string
+	// Description is the paper-facing summary.
+	Description string
+	// Class is the observable severity.
+	Class CrashClass
+	// Dump is the artefact kind.
+	Dump DumpKind
+	// FaultFunc is the function name recorded in the dump backtrace.
+	FaultFunc string
+	// Trigger decides whether this command, in this context, fires the
+	// defect.
+	Trigger func(TriggerContext) bool
+}
+
+// BlueDroidCCBNullDeref reproduces the Android ID 195112457 defect of
+// §IV-E: in a configuration-job state, a Configuration Request whose DCID
+// ignores the device's dynamic allocation — the paper's packet used DCID
+// 0x0040 re-sent after allocation moved on — combined with a garbage tail
+// dereferences a null channel control block in l2c_csm_execute.
+//
+// The dcidLowByte parameter narrows the trigger to DCIDs whose low byte
+// matches (0x40 replicates the paper's packet) and minTail to garbage
+// tails of at least that length — together they calibrate how rare the
+// defect is, and therefore the simulated time-to-detection (Table VI
+// reports 1m25s for D2). matchAll widens the trigger for tests.
+func BlueDroidCCBNullDeref(dcidLowByte uint8, minTail int, matchAll bool) VulnSpec {
+	return VulnSpec{
+		ID:          "bluedroid-ccb-null-deref",
+		Description: "null pointer dereference in L2CAP channel control block (DoS)",
+		Class:       ClassDoS,
+		Dump:        DumpTombstone,
+		FaultFunc:   "l2c_csm_execute(t_l2c_ccb*, unsigned short, void*)+3748",
+		Trigger: func(ctx TriggerContext) bool {
+			if ctx.Job() != sm.JobConfiguration || ctx.Code != l2cap.CodeConfigurationReq {
+				return false
+			}
+			req, ok := ctx.Cmd.(*l2cap.ConfigurationReq)
+			if !ok || ctx.KnownCID || len(ctx.Tail) == 0 {
+				return false
+			}
+			if matchAll {
+				return true
+			}
+			return uint8(req.DCID&0xFF) == dcidLowByte && len(ctx.Tail) >= minTail
+		},
+	}
+}
+
+// SamsungCreateChannelDeref reproduces the D3 (Galaxy S7) variant: a DoS
+// triggered by a malformed Create Channel Request in the WAIT_CREATE
+// state — a command and state only L2Fuzz exercises. The trigger requires
+// an abnormal PSM in the given band, a source CID aligned to scidMask,
+// and a garbage tail of at least minTail bytes, making it rarer than the
+// plain BlueDroid defect (the paper measured 7m11s vs 1m25s).
+func SamsungCreateChannelDeref(psmBand uint8, minTail int, scidMask uint16) VulnSpec {
+	return VulnSpec{
+		ID:          "bluedroid-samsung-create-deref",
+		Description: "null pointer dereference via malformed Create Channel Request (DoS)",
+		Class:       ClassDoS,
+		Dump:        DumpTombstone,
+		FaultFunc:   "l2c_csm_execute(t_l2c_ccb*, unsigned short, void*)+2212",
+		Trigger: func(ctx TriggerContext) bool {
+			if ctx.Job() != sm.JobCreation || ctx.Code != l2cap.CodeCreateChannelReq {
+				return false
+			}
+			req, ok := ctx.Cmd.(*l2cap.CreateChannelReq)
+			if !ok || len(ctx.Tail) < minTail {
+				return false
+			}
+			if uint16(req.SCID)&scidMask != 0 {
+				return false
+			}
+			return uint8(req.PSM>>8) == psmBand && l2cap.IsAbnormalPSM(req.PSM)
+		},
+	}
+}
+
+// RTKitPSMServiceKill reproduces the D5 (AirPods) defect: a connection
+// request carrying a malicious PSM from one of the paper's Table IV odd
+// bands terminates the RTKit Bluetooth service without any control —
+// the device simply vanishes from the air. psmBand pins the vulnerable
+// band (a firmware port-table slot) and scidMask models the hash-bucket
+// alignment the lookup needs; together they calibrate the paper's 40 s
+// detection time. Zero values widen the trigger for tests.
+func RTKitPSMServiceKill(psmBand uint8, scidMask uint16) VulnSpec {
+	return VulnSpec{
+		ID:          "rtkit-psm-service-kill",
+		Description: "device termination via malicious PSM in connection request (Crash)",
+		Class:       ClassCrash,
+		Dump:        DumpNone,
+		FaultFunc:   "RTKitServicePort::dispatch",
+		Trigger: func(ctx TriggerContext) bool {
+			if ctx.Code != l2cap.CodeConnectionReq {
+				return false
+			}
+			req, ok := ctx.Cmd.(*l2cap.ConnectionReq)
+			if !ok {
+				return false
+			}
+			// Odd-band abnormal PSMs only: structurally almost-valid ports
+			// that reach deeper dispatch before dying.
+			if req.PSM&0x0001 != 0x0001 || !l2cap.IsAbnormalPSM(req.PSM) {
+				return false
+			}
+			if psmBand != 0 && uint8(req.PSM>>8) != psmBand {
+				return false
+			}
+			return uint16(req.SCID)&scidMask == 0
+		},
+	}
+}
+
+// BlueZOptionOverrunGPF reproduces the D8 (BlueZ) defect: a Configuration
+// Request addressing a low dynamic CID whose channel moved on, with a
+// long garbage tail, corrupts the option-parsing loop and dies with a
+// general protection error. The narrow trigger — DCID low byte matching
+// an early allocation slot, DCID below dcidMax, a long tail, and a
+// specific configuration sub-state — models the paper's 2h40m detection
+// time on the 13-port target.
+func BlueZOptionOverrunGPF(dcidLowByte uint8, dcidMax l2cap.CID, minTail int, state sm.State) VulnSpec {
+	return VulnSpec{
+		ID:          "bluez-option-overrun-gpf",
+		Description: "general protection fault in configuration option parsing (Crash)",
+		Class:       ClassCrash,
+		Dump:        DumpGPFault,
+		FaultFunc:   "l2cap_parse_conf_req+0x1f4/0x5a0 [bluetooth]",
+		Trigger: func(ctx TriggerContext) bool {
+			if ctx.State != state || ctx.Code != l2cap.CodeConfigurationReq {
+				return false
+			}
+			req, ok := ctx.Cmd.(*l2cap.ConfigurationReq)
+			if !ok || ctx.KnownCID || len(ctx.Tail) < minTail {
+				return false
+			}
+			return uint8(req.DCID&0xFF) == dcidLowByte && req.DCID <= dcidMax
+		},
+	}
+}
+
+// CrashDump is the artefact a fired defect leaves on the device.
+type CrashDump struct {
+	// Kind is the artefact kind.
+	Kind DumpKind
+	// Time is the simulated time of the crash.
+	Time time.Duration
+	// VulnID names the defect that fired.
+	VulnID string
+	// Fingerprint is the device build fingerprint line.
+	Fingerprint string
+	// FaultFunc is the top backtrace frame.
+	FaultFunc string
+	// Trigger describes the packet that fired the defect.
+	Trigger string
+}
+
+// Render produces a human-readable dump resembling the paper's Figure 12
+// tombstone for Android artefacts, and a kernel-style record for general
+// protection faults.
+func (d CrashDump) Render() string {
+	var b strings.Builder
+	switch d.Kind {
+	case DumpTombstone:
+		b.WriteString("*** *** *** *** *** *** *** *** *** *** *** ***\n")
+		fmt.Fprintf(&b, "Build fingerprint: '%s'\n", d.Fingerprint)
+		fmt.Fprintf(&b, "Timestamp: T+%v\n", d.Time)
+		b.WriteString("pid: 1948, tid: 2946, name: bt_main_thread  >>> com.android.bluetooth <<<\n")
+		b.WriteString("signal 11 (SIGSEGV), code 1 (SEGV_MAPERR), fault addr 0x20\n")
+		b.WriteString("Cause: null pointer dereference\n")
+		b.WriteString("backtrace:\n")
+		fmt.Fprintf(&b, "  #00 pc 0000000000378da0  /system/lib64/libbluetooth.so (%s)\n", d.FaultFunc)
+		fmt.Fprintf(&b, "triggering packet: %s\n", d.Trigger)
+	case DumpGPFault:
+		fmt.Fprintf(&b, "crash dump (T+%v)\n", d.Time)
+		fmt.Fprintf(&b, "general protection fault, probably for non-canonical address: 0000 [#1] SMP PTI\n")
+		fmt.Fprintf(&b, "RIP: 0010:%s\n", d.FaultFunc)
+		fmt.Fprintf(&b, "Bluetooth communication recorded; triggering packet: %s\n", d.Trigger)
+	default:
+		fmt.Fprintf(&b, "no crash artefact (device terminated, T+%v, %s)\n", d.Time, d.VulnID)
+	}
+	return b.String()
+}

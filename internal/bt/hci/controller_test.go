@@ -1,0 +1,201 @@
+package hci
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"l2fuzz/internal/bt/radio"
+)
+
+func twoControllers(t *testing.T) (*radio.Medium, *Controller, *Controller) {
+	t.Helper()
+	m := radio.NewMedium(nil, radio.DefaultTiming())
+	a, err := NewController(m, Config{
+		Addr: radio.MustBDAddr("00:00:00:00:00:0A"),
+		Name: "tester", Discoverable: true, Connectable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewController(m, Config{
+		Addr: radio.MustBDAddr("00:00:00:00:00:0B"),
+		Name: "target", ClassOfDevice: 0x5A020C, Discoverable: true, Connectable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, a, b
+}
+
+func TestControllerInquiry(t *testing.T) {
+	_, a, _ := twoControllers(t)
+	results := a.Inquiry()
+	if len(results) != 1 {
+		t.Fatalf("Inquiry() found %d, want 1", len(results))
+	}
+	r := results[0]
+	if r.Name != "target" || r.ClassOfDevice != 0x5A020C {
+		t.Errorf("result = %+v", r)
+	}
+}
+
+func TestConnectSendReceive(t *testing.T) {
+	_, a, b := twoControllers(t)
+
+	type rx struct {
+		handle ConnHandle
+		frame  []byte
+	}
+	var got []rx
+	b.SetReceiver(func(h ConnHandle, _ radio.BDAddr, frame []byte) {
+		got = append(got, rx{handle: h, frame: frame})
+	})
+
+	h, err := a.Connect(b.Address())
+	if err != nil {
+		t.Fatalf("Connect() error = %v", err)
+	}
+	if !a.Connected(h) {
+		t.Fatal("handle not live after Connect")
+	}
+
+	frame := buildL2CAPFrame(3000) // forces fragmentation
+	if err := a.SendL2CAP(h, frame); err != nil {
+		t.Fatalf("SendL2CAP() error = %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("target received %d frames, want 1", len(got))
+	}
+	if !bytes.Equal(got[0].frame, frame) {
+		t.Fatalf("received %d bytes, want %d identical", len(got[0].frame), len(frame))
+	}
+
+	// The target can answer on its implicit link.
+	var back [][]byte
+	a.SetReceiver(func(_ ConnHandle, _ radio.BDAddr, frame []byte) {
+		back = append(back, frame)
+	})
+	bh, ok := b.HandleFor(a.Address())
+	if !ok {
+		t.Fatal("target has no handle for initiator")
+	}
+	reply := buildL2CAPFrame(8)
+	if err := b.SendL2CAP(bh, reply); err != nil {
+		t.Fatalf("reply SendL2CAP() error = %v", err)
+	}
+	if len(back) != 1 || !bytes.Equal(back[0], reply) {
+		t.Fatalf("initiator got %v, want one reply frame", back)
+	}
+}
+
+func TestConnectDuplicate(t *testing.T) {
+	_, a, b := twoControllers(t)
+	if _, err := a.Connect(b.Address()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Connect(b.Address()); !errors.Is(err, ErrAlreadyConnected) {
+		t.Fatalf("second Connect error = %v, want ErrAlreadyConnected", err)
+	}
+}
+
+func TestDisconnect(t *testing.T) {
+	_, a, b := twoControllers(t)
+	h, err := a.Connect(b.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dropped []ConnHandle
+	a.SetDisconnectHandler(func(h ConnHandle, _ radio.BDAddr) { dropped = append(dropped, h) })
+
+	if err := a.Disconnect(h); err != nil {
+		t.Fatalf("Disconnect() error = %v", err)
+	}
+	if a.Connected(h) {
+		t.Error("handle still live after Disconnect")
+	}
+	if len(dropped) != 1 || dropped[0] != h {
+		t.Errorf("disconnect handler got %v, want [%v]", dropped, h)
+	}
+	if err := a.SendL2CAP(h, buildL2CAPFrame(4)); !errors.Is(err, ErrNoSuchHandle) {
+		t.Errorf("SendL2CAP after disconnect error = %v, want ErrNoSuchHandle", err)
+	}
+	if err := a.Disconnect(h); !errors.Is(err, ErrNoSuchHandle) {
+		t.Errorf("double Disconnect error = %v, want ErrNoSuchHandle", err)
+	}
+}
+
+func TestDropPeerSimulatesCrash(t *testing.T) {
+	_, a, b := twoControllers(t)
+	h, err := a.Connect(b.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target receives something to materialise its side of the link.
+	b.SetReceiver(func(ConnHandle, radio.BDAddr, []byte) {})
+	if err := a.SendL2CAP(h, buildL2CAPFrame(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	b.DropPeer(a.Address())
+	if err := a.SendL2CAP(h, buildL2CAPFrame(4)); err == nil {
+		t.Error("SendL2CAP after peer drop should fail (link gone)")
+	}
+}
+
+func TestUnconnectableTargetRejectsPage(t *testing.T) {
+	m := radio.NewMedium(nil, radio.DefaultTiming())
+	a, err := NewController(m, Config{Addr: radio.MustBDAddr("00:00:00:00:00:0A"), Connectable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewController(m, Config{Addr: radio.MustBDAddr("00:00:00:00:00:0B"), Connectable: false}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Connect(radio.MustBDAddr("00:00:00:00:00:0B")); !errors.Is(err, radio.ErrNotConnectable) {
+		t.Fatalf("Connect error = %v, want ErrNotConnectable", err)
+	}
+}
+
+func TestSetConnectableAtRuntime(t *testing.T) {
+	_, a, b := twoControllers(t)
+	b.SetConnectable(false)
+	if _, err := a.Connect(b.Address()); err == nil {
+		t.Fatal("Connect succeeded against unconnectable target")
+	}
+	b.SetConnectable(true)
+	if _, err := a.Connect(b.Address()); err != nil {
+		t.Fatalf("Connect after re-enable error = %v", err)
+	}
+}
+
+func TestSetDiscoverableAtRuntime(t *testing.T) {
+	_, a, b := twoControllers(t)
+	b.SetDiscoverable(false)
+	if got := a.Inquiry(); len(got) != 0 {
+		t.Fatalf("Inquiry() found %d, want 0 after SetDiscoverable(false)", len(got))
+	}
+}
+
+func TestHandlesAreDistinctPerLink(t *testing.T) {
+	m := radio.NewMedium(nil, radio.DefaultTiming())
+	a, err := NewController(m, Config{Addr: radio.MustBDAddr("00:00:00:00:00:0A"), Connectable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make(map[ConnHandle]bool)
+	for i := byte(1); i <= 5; i++ {
+		addr := radio.BDAddr{0, 0, 0, 0, 1, i}
+		if _, err := NewController(m, Config{Addr: addr, Connectable: true}); err != nil {
+			t.Fatal(err)
+		}
+		h, err := a.Connect(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if handles[h] {
+			t.Fatalf("handle %v reused across live links", h)
+		}
+		handles[h] = true
+	}
+}

@@ -1,0 +1,14 @@
+// Package hci implements a virtual Host Controller Interface: the layer
+// between a Bluetooth host stack and its controller (paper Figure 1).
+//
+// The package provides the HCI ACL data-packet framing from the paper's
+// Figure 3 (packet type, connection handle, packet-boundary and broadcast
+// flags, data length) including fragmentation and reassembly of L2CAP
+// frames across the controller's ACL buffer size, plus a Controller type
+// that manages baseband connections over a radio.Medium: inquiry, paging
+// (connection creation), connection handles, and ACL data transfer.
+//
+// Everything a host stack or the fuzzer needs from real HCI hardware is
+// reproduced here so the layers above (L2CAP, the vendor stacks, L2Fuzz
+// itself) run unmodified against the simulation.
+package hci

@@ -1,0 +1,405 @@
+package l2cap
+
+import "fmt"
+
+var (
+	_ Command = (*ConnParamUpdateReq)(nil)
+	_ Command = (*ConnParamUpdateRsp)(nil)
+	_ Command = (*LECreditConnReq)(nil)
+	_ Command = (*LECreditConnRsp)(nil)
+	_ Command = (*FlowControlCredit)(nil)
+	_ Command = (*CreditBasedConnReq)(nil)
+	_ Command = (*CreditBasedConnRsp)(nil)
+	_ Command = (*CreditBasedReconfReq)(nil)
+	_ Command = (*CreditBasedReconfRsp)(nil)
+)
+
+// maxECREDChannels is the maximum number of channels one enhanced
+// credit-based command may carry (Vol 3 Part A §4.25).
+const maxECREDChannels = 5
+
+// ConnParamUpdateReq (code 0x12) proposes new connection parameters.
+// All four members are mutable-application (MA) fields in the paper's
+// classification: INTERVAL, LATENCY and TIMEOUT.
+type ConnParamUpdateReq struct {
+	// IntervalMin is the minimum connection interval, in 1.25 ms units.
+	IntervalMin uint16
+	// IntervalMax is the maximum connection interval, in 1.25 ms units.
+	IntervalMax uint16
+	// Latency is the peripheral latency in connection events.
+	Latency uint16
+	// Timeout is the supervision timeout in 10 ms units.
+	Timeout uint16
+}
+
+// Code implements Command.
+func (*ConnParamUpdateReq) Code() CommandCode { return CodeConnParamUpdateReq }
+
+// MarshalData implements Command.
+func (c *ConnParamUpdateReq) MarshalData() []byte {
+	out := putU16(nil, c.IntervalMin)
+	out = putU16(out, c.IntervalMax)
+	out = putU16(out, c.Latency)
+	return putU16(out, c.Timeout)
+}
+
+// UnmarshalData implements Command.
+func (c *ConnParamUpdateReq) UnmarshalData(data []byte) error {
+	if err := wantLen(CodeConnParamUpdateReq, data, 8); err != nil {
+		return err
+	}
+	c.IntervalMin = getU16(data, 0)
+	c.IntervalMax = getU16(data, 2)
+	c.Latency = getU16(data, 4)
+	c.Timeout = getU16(data, 6)
+	return nil
+}
+
+// CoreFields implements Command.
+func (c *ConnParamUpdateReq) CoreFields() CoreFields { return CoreFields{} }
+
+// ConnParamUpdateRsp (code 0x13) accepts or rejects the parameter update.
+type ConnParamUpdateRsp struct {
+	// Result is zero for accepted, one for rejected.
+	Result uint16
+}
+
+// Code implements Command.
+func (*ConnParamUpdateRsp) Code() CommandCode { return CodeConnParamUpdateRsp }
+
+// MarshalData implements Command.
+func (c *ConnParamUpdateRsp) MarshalData() []byte { return putU16(nil, c.Result) }
+
+// UnmarshalData implements Command.
+func (c *ConnParamUpdateRsp) UnmarshalData(data []byte) error {
+	if err := wantLen(CodeConnParamUpdateRsp, data, 2); err != nil {
+		return err
+	}
+	c.Result = getU16(data, 0)
+	return nil
+}
+
+// CoreFields implements Command.
+func (c *ConnParamUpdateRsp) CoreFields() CoreFields { return CoreFields{} }
+
+// LECreditConnReq (code 0x14) opens an LE credit-based channel. SPSM,
+// MTU, MPS and CREDIT are MA fields per the paper; the SCID is CIDP.
+type LECreditConnReq struct {
+	// SPSM is the simplified PSM of the target service.
+	SPSM uint16
+	// SCID is the requester-side endpoint.
+	SCID CID
+	// MTU is the maximum transmission unit the requester can receive.
+	MTU uint16
+	// MPS is the maximum PDU size the requester can receive.
+	MPS uint16
+	// InitialCredits seeds the flow-control credit count.
+	InitialCredits uint16
+}
+
+// Code implements Command.
+func (*LECreditConnReq) Code() CommandCode { return CodeLECreditConnReq }
+
+// MarshalData implements Command.
+func (c *LECreditConnReq) MarshalData() []byte {
+	out := putU16(nil, c.SPSM)
+	out = putU16(out, uint16(c.SCID))
+	out = putU16(out, c.MTU)
+	out = putU16(out, c.MPS)
+	return putU16(out, c.InitialCredits)
+}
+
+// UnmarshalData implements Command.
+func (c *LECreditConnReq) UnmarshalData(data []byte) error {
+	if err := wantLen(CodeLECreditConnReq, data, 10); err != nil {
+		return err
+	}
+	c.SPSM = getU16(data, 0)
+	c.SCID = CID(getU16(data, 2))
+	c.MTU = getU16(data, 4)
+	c.MPS = getU16(data, 6)
+	c.InitialCredits = getU16(data, 8)
+	return nil
+}
+
+// CoreFields implements Command.
+func (c *LECreditConnReq) CoreFields() CoreFields {
+	return CoreFields{CIDs: []*CID{&c.SCID}}
+}
+
+// LECreditConnRsp (code 0x15) answers an LECreditConnReq.
+type LECreditConnRsp struct {
+	// DCID is the responder-side endpoint.
+	DCID CID
+	// MTU is the responder's maximum transmission unit.
+	MTU uint16
+	// MPS is the responder's maximum PDU size.
+	MPS uint16
+	// InitialCredits seeds the responder's credit count.
+	InitialCredits uint16
+	// Result reports the outcome.
+	Result uint16
+}
+
+// Code implements Command.
+func (*LECreditConnRsp) Code() CommandCode { return CodeLECreditConnRsp }
+
+// MarshalData implements Command.
+func (c *LECreditConnRsp) MarshalData() []byte {
+	out := putU16(nil, uint16(c.DCID))
+	out = putU16(out, c.MTU)
+	out = putU16(out, c.MPS)
+	out = putU16(out, c.InitialCredits)
+	return putU16(out, c.Result)
+}
+
+// UnmarshalData implements Command.
+func (c *LECreditConnRsp) UnmarshalData(data []byte) error {
+	if err := wantLen(CodeLECreditConnRsp, data, 10); err != nil {
+		return err
+	}
+	c.DCID = CID(getU16(data, 0))
+	c.MTU = getU16(data, 2)
+	c.MPS = getU16(data, 4)
+	c.InitialCredits = getU16(data, 6)
+	c.Result = getU16(data, 8)
+	return nil
+}
+
+// CoreFields implements Command.
+func (c *LECreditConnRsp) CoreFields() CoreFields {
+	return CoreFields{CIDs: []*CID{&c.DCID}}
+}
+
+// FlowControlCredit (code 0x16) grants additional credits on a
+// credit-based channel. Its CID names a channel endpoint in the payload,
+// so it belongs to the CIDP set.
+type FlowControlCredit struct {
+	// CID is the channel receiving credits.
+	CID CID
+	// Credits is the number of additional credits granted.
+	Credits uint16
+}
+
+// Code implements Command.
+func (*FlowControlCredit) Code() CommandCode { return CodeFlowControlCredit }
+
+// MarshalData implements Command.
+func (c *FlowControlCredit) MarshalData() []byte {
+	out := putU16(nil, uint16(c.CID))
+	return putU16(out, c.Credits)
+}
+
+// UnmarshalData implements Command.
+func (c *FlowControlCredit) UnmarshalData(data []byte) error {
+	if err := wantLen(CodeFlowControlCredit, data, 4); err != nil {
+		return err
+	}
+	c.CID = CID(getU16(data, 0))
+	c.Credits = getU16(data, 2)
+	return nil
+}
+
+// CoreFields implements Command.
+func (c *FlowControlCredit) CoreFields() CoreFields {
+	return CoreFields{CIDs: []*CID{&c.CID}}
+}
+
+// cidSliceRefs converts a CID slice into per-element pointers for
+// CoreFields.
+func cidSliceRefs(cids []CID) []*CID {
+	refs := make([]*CID, len(cids))
+	for i := range cids {
+		refs[i] = &cids[i]
+	}
+	return refs
+}
+
+// marshalCIDs appends each CID in wire order.
+func marshalCIDs(dst []byte, cids []CID) []byte {
+	for _, cid := range cids {
+		dst = putU16(dst, uint16(cid))
+	}
+	return dst
+}
+
+// unmarshalCIDs decodes the trailing CID list of an enhanced credit-based
+// command.
+func unmarshalCIDs(code CommandCode, data []byte) ([]CID, error) {
+	if len(data)%2 != 0 {
+		return nil, fmt.Errorf("%w: %v CID list has odd length %d",
+			ErrBadCommand, code, len(data))
+	}
+	n := len(data) / 2
+	if n > maxECREDChannels {
+		return nil, fmt.Errorf("%w: %v carries %d CIDs, max %d",
+			ErrBadCommand, code, n, maxECREDChannels)
+	}
+	cids := make([]CID, n)
+	for i := 0; i < n; i++ {
+		cids[i] = CID(getU16(data, 2*i))
+	}
+	return cids, nil
+}
+
+// CreditBasedConnReq (code 0x17) opens up to five enhanced credit-based
+// channels in one transaction.
+type CreditBasedConnReq struct {
+	// SPSM is the simplified PSM of the target service.
+	SPSM uint16
+	// MTU is the requester's maximum transmission unit.
+	MTU uint16
+	// MPS is the requester's maximum PDU size.
+	MPS uint16
+	// InitialCredits seeds the credit count.
+	InitialCredits uint16
+	// SCIDs lists the requester-side endpoints, one per channel.
+	SCIDs []CID
+}
+
+// Code implements Command.
+func (*CreditBasedConnReq) Code() CommandCode { return CodeCreditBasedConnReq }
+
+// MarshalData implements Command.
+func (c *CreditBasedConnReq) MarshalData() []byte {
+	out := putU16(nil, c.SPSM)
+	out = putU16(out, c.MTU)
+	out = putU16(out, c.MPS)
+	out = putU16(out, c.InitialCredits)
+	return marshalCIDs(out, c.SCIDs)
+}
+
+// UnmarshalData implements Command.
+func (c *CreditBasedConnReq) UnmarshalData(data []byte) error {
+	if err := wantMinLen(CodeCreditBasedConnReq, data, 8); err != nil {
+		return err
+	}
+	c.SPSM = getU16(data, 0)
+	c.MTU = getU16(data, 2)
+	c.MPS = getU16(data, 4)
+	c.InitialCredits = getU16(data, 6)
+	cids, err := unmarshalCIDs(CodeCreditBasedConnReq, data[8:])
+	if err != nil {
+		return err
+	}
+	c.SCIDs = cids
+	return nil
+}
+
+// CoreFields implements Command.
+func (c *CreditBasedConnReq) CoreFields() CoreFields {
+	return CoreFields{CIDs: cidSliceRefs(c.SCIDs)}
+}
+
+// CreditBasedConnRsp (code 0x18) answers a CreditBasedConnReq.
+type CreditBasedConnRsp struct {
+	// MTU is the responder's maximum transmission unit.
+	MTU uint16
+	// MPS is the responder's maximum PDU size.
+	MPS uint16
+	// InitialCredits seeds the responder's credit count.
+	InitialCredits uint16
+	// Result reports the outcome.
+	Result uint16
+	// DCIDs lists the responder-side endpoints, one per accepted channel.
+	DCIDs []CID
+}
+
+// Code implements Command.
+func (*CreditBasedConnRsp) Code() CommandCode { return CodeCreditBasedConnRsp }
+
+// MarshalData implements Command.
+func (c *CreditBasedConnRsp) MarshalData() []byte {
+	out := putU16(nil, c.MTU)
+	out = putU16(out, c.MPS)
+	out = putU16(out, c.InitialCredits)
+	out = putU16(out, c.Result)
+	return marshalCIDs(out, c.DCIDs)
+}
+
+// UnmarshalData implements Command.
+func (c *CreditBasedConnRsp) UnmarshalData(data []byte) error {
+	if err := wantMinLen(CodeCreditBasedConnRsp, data, 8); err != nil {
+		return err
+	}
+	c.MTU = getU16(data, 0)
+	c.MPS = getU16(data, 2)
+	c.InitialCredits = getU16(data, 4)
+	c.Result = getU16(data, 6)
+	cids, err := unmarshalCIDs(CodeCreditBasedConnRsp, data[8:])
+	if err != nil {
+		return err
+	}
+	c.DCIDs = cids
+	return nil
+}
+
+// CoreFields implements Command.
+func (c *CreditBasedConnRsp) CoreFields() CoreFields {
+	return CoreFields{CIDs: cidSliceRefs(c.DCIDs)}
+}
+
+// CreditBasedReconfReq (code 0x19) renegotiates MTU/MPS on enhanced
+// credit-based channels.
+type CreditBasedReconfReq struct {
+	// MTU is the new maximum transmission unit.
+	MTU uint16
+	// MPS is the new maximum PDU size.
+	MPS uint16
+	// DCIDs lists the channels being reconfigured.
+	DCIDs []CID
+}
+
+// Code implements Command.
+func (*CreditBasedReconfReq) Code() CommandCode { return CodeCreditBasedReconfReq }
+
+// MarshalData implements Command.
+func (c *CreditBasedReconfReq) MarshalData() []byte {
+	out := putU16(nil, c.MTU)
+	out = putU16(out, c.MPS)
+	return marshalCIDs(out, c.DCIDs)
+}
+
+// UnmarshalData implements Command.
+func (c *CreditBasedReconfReq) UnmarshalData(data []byte) error {
+	if err := wantMinLen(CodeCreditBasedReconfReq, data, 4); err != nil {
+		return err
+	}
+	c.MTU = getU16(data, 0)
+	c.MPS = getU16(data, 2)
+	cids, err := unmarshalCIDs(CodeCreditBasedReconfReq, data[4:])
+	if err != nil {
+		return err
+	}
+	c.DCIDs = cids
+	return nil
+}
+
+// CoreFields implements Command.
+func (c *CreditBasedReconfReq) CoreFields() CoreFields {
+	return CoreFields{CIDs: cidSliceRefs(c.DCIDs)}
+}
+
+// CreditBasedReconfRsp (code 0x1A) answers a CreditBasedReconfReq.
+type CreditBasedReconfRsp struct {
+	// Result reports the outcome.
+	Result uint16
+}
+
+// Code implements Command.
+func (*CreditBasedReconfRsp) Code() CommandCode { return CodeCreditBasedReconfRsp }
+
+// MarshalData implements Command.
+func (c *CreditBasedReconfRsp) MarshalData() []byte { return putU16(nil, c.Result) }
+
+// UnmarshalData implements Command.
+func (c *CreditBasedReconfRsp) UnmarshalData(data []byte) error {
+	if err := wantLen(CodeCreditBasedReconfRsp, data, 2); err != nil {
+		return err
+	}
+	c.Result = getU16(data, 0)
+	return nil
+}
+
+// CoreFields implements Command.
+func (c *CreditBasedReconfRsp) CoreFields() CoreFields { return CoreFields{} }

@@ -1,0 +1,99 @@
+package l2cap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestOptionsRoundTrip(t *testing.T) {
+	in := []ConfigOption{
+		MTUOption(1024),
+		FlushTimeoutOption(0xFFFF),
+		{Type: OptionFCS, Value: []byte{0x01}},
+		{Type: OptionQoS, Value: make([]byte, 22)},
+		{Type: 0x55 | 0x80, Value: []byte{1, 2, 3}}, // unknown hint
+	}
+	out, err := ParseOptions(appendOptions(nil, in))
+	if err != nil {
+		t.Fatalf("ParseOptions() error = %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len(out) = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Type != in[i].Type || !bytes.Equal(out[i].Value, in[i].Value) {
+			t.Errorf("option[%d] = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestParseOptionsErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{name: "truncated header", data: []byte{0x01}},
+		{name: "length overrun", data: []byte{0x01, 0x05, 0x00}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseOptions(tt.data); !errors.Is(err, ErrBadCommand) {
+				t.Fatalf("ParseOptions() error = %v, want ErrBadCommand", err)
+			}
+		})
+	}
+}
+
+func TestParseOptionsEmpty(t *testing.T) {
+	opts, err := ParseOptions(nil)
+	if err != nil {
+		t.Fatalf("ParseOptions(nil) error = %v", err)
+	}
+	if len(opts) != 0 {
+		t.Fatalf("len(opts) = %d, want 0", len(opts))
+	}
+}
+
+func TestOptionPredicates(t *testing.T) {
+	mtu := MTUOption(672)
+	if mtu.IsHint() {
+		t.Error("MTU option must not be a hint")
+	}
+	if !mtu.Known() {
+		t.Error("MTU option with 2-byte value must be Known")
+	}
+	if got := mtu.WireSize(); got != 4 {
+		t.Errorf("WireSize() = %d, want 4", got)
+	}
+
+	bad := ConfigOption{Type: OptionMTU, Value: []byte{1}}
+	if bad.Known() {
+		t.Error("MTU option with 1-byte value must not be Known")
+	}
+
+	hint := ConfigOption{Type: OptionMTU | 0x80, Value: []byte{0, 0}}
+	if !hint.IsHint() {
+		t.Error("high-bit option must be a hint")
+	}
+	if !hint.Known() {
+		t.Error("hinted MTU with right size must still be Known")
+	}
+
+	unknown := ConfigOption{Type: 0x55, Value: nil}
+	if unknown.Known() {
+		t.Error("unknown type must not be Known")
+	}
+}
+
+func TestMTUValue(t *testing.T) {
+	if v, ok := MTUValue(MTUOption(512)); !ok || v != 512 {
+		t.Errorf("MTUValue() = (%d, %v), want (512, true)", v, ok)
+	}
+	if _, ok := MTUValue(FlushTimeoutOption(1)); ok {
+		t.Error("MTUValue(flush timeout) must not be ok")
+	}
+	if _, ok := MTUValue(ConfigOption{Type: OptionMTU, Value: []byte{1}}); ok {
+		t.Error("MTUValue(short value) must not be ok")
+	}
+}

@@ -1,0 +1,157 @@
+package l2cap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestNewPacketConsistency(t *testing.T) {
+	p := NewPacket(CIDSignaling, []byte{1, 2, 3})
+	if p.Length != 3 {
+		t.Fatalf("Length = %d, want 3", p.Length)
+	}
+	if !p.IsSignaling() {
+		t.Fatalf("IsSignaling() = false, want true")
+	}
+	if g := p.TrailingGarbage(); g != nil {
+		t.Fatalf("TrailingGarbage() = %v, want nil", g)
+	}
+}
+
+func TestPacketMarshalRoundTrip(t *testing.T) {
+	tests := []struct {
+		name    string
+		cid     CID
+		payload []byte
+	}{
+		{name: "empty payload", cid: CIDSignaling, payload: nil},
+		{name: "signaling", cid: CIDSignaling, payload: []byte{0x02, 0x01, 0x04, 0x00, 1, 2, 3, 4}},
+		{name: "dynamic cid", cid: 0x0040, payload: bytes.Repeat([]byte{0xAB}, 100)},
+		{name: "max cid", cid: 0xFFFF, payload: []byte{0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in := NewPacket(tt.cid, tt.payload)
+			out, err := UnmarshalPacket(in.Marshal())
+			if err != nil {
+				t.Fatalf("UnmarshalPacket() error = %v", err)
+			}
+			if out.ChannelID != tt.cid {
+				t.Errorf("ChannelID = %v, want %v", out.ChannelID, tt.cid)
+			}
+			if out.Length != in.Length {
+				t.Errorf("Length = %d, want %d", out.Length, in.Length)
+			}
+			if !bytes.Equal(out.Payload, tt.payload) {
+				t.Errorf("Payload = %x, want %x", out.Payload, tt.payload)
+			}
+		})
+	}
+}
+
+func TestUnmarshalPacketErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		raw     []byte
+		wantErr error
+	}{
+		{name: "empty", raw: nil, wantErr: ErrShortPacket},
+		{name: "three bytes", raw: []byte{1, 2, 3}, wantErr: ErrShortPacket},
+		{name: "declared too long", raw: []byte{0x05, 0x00, 0x01, 0x00, 0xAA}, wantErr: ErrLengthMismatch},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnmarshalPacket(tt.raw); !errors.Is(err, tt.wantErr) {
+				t.Fatalf("UnmarshalPacket() error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAppendGarbageKeepsDeclaredLength(t *testing.T) {
+	base := NewPacket(CIDSignaling, []byte{0x08, 0x01, 0x00, 0x00})
+	mutated := base.AppendGarbage([]byte{0xD2, 0x3A, 0x91, 0x0E})
+
+	if mutated.Length != base.Length {
+		t.Errorf("mutated Length = %d, want %d (dependent field must stay)", mutated.Length, base.Length)
+	}
+	if got := mutated.TrailingGarbage(); !bytes.Equal(got, []byte{0xD2, 0x3A, 0x91, 0x0E}) {
+		t.Errorf("TrailingGarbage() = %x, want d23a910e", got)
+	}
+	// The original must be untouched (copy-at-boundary semantics).
+	if len(base.Payload) != 4 {
+		t.Errorf("base payload grew to %d bytes; AppendGarbage must not mutate its receiver", len(base.Payload))
+	}
+}
+
+func TestGarbagePacketRoundTripsThroughWire(t *testing.T) {
+	base := SignalPacket(1, &ConnectionReq{PSM: PSMSDP, SCID: 0x0040}, []byte{0xDE, 0xAD})
+	out, err := UnmarshalPacket(base.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalPacket() error = %v", err)
+	}
+	if got := out.TrailingGarbage(); !bytes.Equal(got, []byte{0xDE, 0xAD}) {
+		t.Fatalf("TrailingGarbage() = %x, want dead", got)
+	}
+	frames, err := ParseSignals(out.Payload)
+	if err != nil {
+		t.Fatalf("ParseSignals() error = %v", err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("len(frames) = %d, want 1", len(frames))
+	}
+	if !bytes.Equal(frames[0].Tail, []byte{0xDE, 0xAD}) {
+		t.Fatalf("frame Tail = %x, want dead", frames[0].Tail)
+	}
+}
+
+func TestUnmarshalPacketCopiesInput(t *testing.T) {
+	raw := NewPacket(CIDSignaling, []byte{1, 2, 3}).Marshal()
+	p, err := UnmarshalPacket(raw)
+	if err != nil {
+		t.Fatalf("UnmarshalPacket() error = %v", err)
+	}
+	raw[HeaderSize] = 0xFF
+	if p.Payload[0] != 1 {
+		t.Fatal("decoded payload aliases the input buffer")
+	}
+}
+
+func TestFigure7MutationExample(t *testing.T) {
+	// Reproduce the paper's Figure 7: a Config Req for DCID 0x0040 with an
+	// MTU option, mutated to DCID 0x7B8F with garbage D2 3A 91 0E.
+	req := &ConfigurationReq{
+		DCID:    0x0040,
+		Options: []ConfigOption{MTUOption(0x2000)},
+	}
+	normal := SignalPacket(0x06, req, nil)
+	if normal.Length != 0x0C {
+		t.Fatalf("normal declared payload length = %#x, want 0x0C as in Figure 7", normal.Length)
+	}
+
+	req.DCID = 0x7B8F
+	mutated := SignalPacket(0x06, req, []byte{0xD2, 0x3A, 0x91, 0x0E})
+	if mutated.Length != 0x0C {
+		t.Fatalf("mutated declared length = %#x, want unchanged 0x0C", mutated.Length)
+	}
+	if mutated.WireSize() != HeaderSize+0x0C+4 {
+		t.Fatalf("mutated wire size = %d, want %d", mutated.WireSize(), HeaderSize+0x0C+4)
+	}
+
+	frames, err := ParseSignals(mutated.Payload)
+	if err != nil {
+		t.Fatalf("ParseSignals() error = %v", err)
+	}
+	cmd, err := DecodeCommand(frames[0])
+	if err != nil {
+		t.Fatalf("DecodeCommand() error = %v", err)
+	}
+	got, ok := cmd.(*ConfigurationReq)
+	if !ok {
+		t.Fatalf("decoded %T, want *ConfigurationReq", cmd)
+	}
+	if got.DCID != 0x7B8F {
+		t.Fatalf("DCID = %v, want 0x7B8F", got.DCID)
+	}
+}

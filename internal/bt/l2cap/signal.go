@@ -1,0 +1,237 @@
+package l2cap
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame is one signaling command as carried on the signaling channel:
+// a 4-byte command header (code, identifier, data length) followed by the
+// declared data bytes and any trailing garbage beyond the declared length.
+type Frame struct {
+	// Code identifies the signaling command.
+	Code CommandCode
+	// Identifier matches responses to requests. Zero is illegal on the
+	// wire; the spec requires a non-zero identifier.
+	Identifier uint8
+	// Data holds exactly the declared data-length bytes.
+	Data []byte
+	// Tail holds bytes that followed the declared data within the same
+	// L2CAP payload — the garbage tail appended by core-field mutating.
+	Tail []byte
+}
+
+// MarshalTo appends the wire form of the frame (including the tail) to dst
+// and returns the extended slice.
+func (f Frame) MarshalTo(dst []byte) []byte {
+	var hdr [SignalHeaderSize]byte
+	hdr[0] = uint8(f.Code)
+	hdr[1] = f.Identifier
+	binary.LittleEndian.PutUint16(hdr[2:4], uint16(len(f.Data)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, f.Data...)
+	dst = append(dst, f.Tail...)
+	return dst
+}
+
+// Marshal returns the wire form of the frame.
+func (f Frame) Marshal() []byte {
+	return f.MarshalTo(make([]byte, 0, SignalHeaderSize+len(f.Data)+len(f.Tail)))
+}
+
+// UnmarshalFrame decodes a single signaling frame from payload, treating
+// every byte beyond the declared data length as Tail. Use ParseSignals for
+// payloads that may pack several commands.
+func UnmarshalFrame(payload []byte) (Frame, error) {
+	if len(payload) < SignalHeaderSize {
+		return Frame{}, fmt.Errorf("%w: got %d bytes", ErrShortCommand, len(payload))
+	}
+	f := Frame{
+		Code:       CommandCode(payload[0]),
+		Identifier: payload[1],
+	}
+	dataLen := int(binary.LittleEndian.Uint16(payload[2:4]))
+	rest := payload[SignalHeaderSize:]
+	if dataLen > len(rest) {
+		return Frame{}, fmt.Errorf("%w: declared %d, available %d",
+			ErrDataLength, dataLen, len(rest))
+	}
+	f.Data = append([]byte(nil), rest[:dataLen]...)
+	f.Tail = append([]byte(nil), rest[dataLen:]...)
+	return f, nil
+}
+
+// ParseSignals decodes the sequence of signaling frames packed into one
+// signaling-channel payload. BR/EDR permits multiple commands per C-frame;
+// parsing stops at the first frame that cannot be decoded, returning the
+// frames decoded so far together with the error. A trailing fragment too
+// short to be a command header is attributed to the previous frame's Tail
+// (or reported as an error when there is no previous frame).
+func ParseSignals(payload []byte) ([]Frame, error) {
+	var frames []Frame
+	off := 0
+	for off < len(payload) {
+		rest := payload[off:]
+		if len(rest) < SignalHeaderSize {
+			if len(frames) == 0 {
+				return nil, fmt.Errorf("%w: got %d bytes", ErrShortCommand, len(rest))
+			}
+			last := &frames[len(frames)-1]
+			last.Tail = append(last.Tail, rest...)
+			return frames, nil
+		}
+		dataLen := int(binary.LittleEndian.Uint16(rest[2:4]))
+		if SignalHeaderSize+dataLen > len(rest) {
+			if len(frames) == 0 {
+				return nil, fmt.Errorf("%w: declared %d, available %d",
+					ErrDataLength, dataLen, len(rest)-SignalHeaderSize)
+			}
+			last := &frames[len(frames)-1]
+			last.Tail = append(last.Tail, rest...)
+			return frames, nil
+		}
+		f := Frame{
+			Code:       CommandCode(rest[0]),
+			Identifier: rest[1],
+			Data:       append([]byte(nil), rest[SignalHeaderSize:SignalHeaderSize+dataLen]...),
+		}
+		frames = append(frames, f)
+		off += SignalHeaderSize + dataLen
+	}
+	return frames, nil
+}
+
+// Command is one decoded signaling command. Implementations are the 26
+// concrete command structs in this package; all use pointer receivers.
+type Command interface {
+	// Code returns the signaling command code.
+	Code() CommandCode
+	// MarshalData encodes the command's data fields (the bytes that follow
+	// the 4-byte command header).
+	MarshalData() []byte
+	// UnmarshalData decodes the command's data fields. Implementations
+	// must not retain the argument slice.
+	UnmarshalData(data []byte) error
+	// CoreFields exposes the mutable-core (MC) fields of the command for
+	// L2Fuzz's core-field mutating: the PSM (port) and every channel ID
+	// carried in the payload (CIDP). Nil/empty members mean the command
+	// has no such field.
+	CoreFields() CoreFields
+}
+
+// CoreFields references a command's mutable-core fields in place, letting
+// a mutator rewrite them without knowing the command layout.
+type CoreFields struct {
+	// PSM points at the command's port field, if any.
+	PSM *PSM
+	// CIDs points at every channel-ID-in-payload field (SCID, DCID, ICID),
+	// in wire order.
+	CIDs []*CID
+	// ControllerIDs points at every controller-ID field (the CONT ID
+	// member of MC in the paper's Figure 6).
+	ControllerIDs []*uint8
+}
+
+// Empty reports whether the command exposes no mutable-core fields at all
+// (echo and information commands, pure result responses).
+func (c CoreFields) Empty() bool {
+	return c.PSM == nil && len(c.CIDs) == 0 && len(c.ControllerIDs) == 0
+}
+
+// newCommand returns a zero-valued concrete command for code.
+func newCommand(code CommandCode) (Command, error) {
+	switch code {
+	case CodeCommandReject:
+		return &CommandReject{}, nil
+	case CodeConnectionReq:
+		return &ConnectionReq{}, nil
+	case CodeConnectionRsp:
+		return &ConnectionRsp{}, nil
+	case CodeConfigurationReq:
+		return &ConfigurationReq{}, nil
+	case CodeConfigurationRsp:
+		return &ConfigurationRsp{}, nil
+	case CodeDisconnectionReq:
+		return &DisconnectionReq{}, nil
+	case CodeDisconnectionRsp:
+		return &DisconnectionRsp{}, nil
+	case CodeEchoReq:
+		return &EchoReq{}, nil
+	case CodeEchoRsp:
+		return &EchoRsp{}, nil
+	case CodeInformationReq:
+		return &InformationReq{}, nil
+	case CodeInformationRsp:
+		return &InformationRsp{}, nil
+	case CodeCreateChannelReq:
+		return &CreateChannelReq{}, nil
+	case CodeCreateChannelRsp:
+		return &CreateChannelRsp{}, nil
+	case CodeMoveChannelReq:
+		return &MoveChannelReq{}, nil
+	case CodeMoveChannelRsp:
+		return &MoveChannelRsp{}, nil
+	case CodeMoveChannelConfirmReq:
+		return &MoveChannelConfirmReq{}, nil
+	case CodeMoveChannelConfirmRsp:
+		return &MoveChannelConfirmRsp{}, nil
+	case CodeConnParamUpdateReq:
+		return &ConnParamUpdateReq{}, nil
+	case CodeConnParamUpdateRsp:
+		return &ConnParamUpdateRsp{}, nil
+	case CodeLECreditConnReq:
+		return &LECreditConnReq{}, nil
+	case CodeLECreditConnRsp:
+		return &LECreditConnRsp{}, nil
+	case CodeFlowControlCredit:
+		return &FlowControlCredit{}, nil
+	case CodeCreditBasedConnReq:
+		return &CreditBasedConnReq{}, nil
+	case CodeCreditBasedConnRsp:
+		return &CreditBasedConnRsp{}, nil
+	case CodeCreditBasedReconfReq:
+		return &CreditBasedReconfReq{}, nil
+	case CodeCreditBasedReconfRsp:
+		return &CreditBasedReconfRsp{}, nil
+	default:
+		return nil, fmt.Errorf("%w: 0x%02X", ErrUnknownCode, uint8(code))
+	}
+}
+
+// DecodeCommand turns a signaling frame into its concrete command.
+func DecodeCommand(f Frame) (Command, error) {
+	cmd, err := newCommand(f.Code)
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.UnmarshalData(f.Data); err != nil {
+		return nil, fmt.Errorf("decode %v: %w", f.Code, err)
+	}
+	return cmd, nil
+}
+
+// EncodeFrame wraps a command into a signaling frame with the given
+// identifier and optional garbage tail.
+func EncodeFrame(id uint8, cmd Command, tail []byte) Frame {
+	return Frame{
+		Code:       cmd.Code(),
+		Identifier: id,
+		Data:       cmd.MarshalData(),
+		Tail:       append([]byte(nil), tail...),
+	}
+}
+
+// SignalPacket builds a complete basic frame carrying a single signaling
+// command on the signaling channel. The declared lengths describe the
+// command without the tail, reproducing the paper's Figure 7 layout where
+// garbage lives beyond every declared length.
+func SignalPacket(id uint8, cmd Command, tail []byte) Packet {
+	f := EncodeFrame(id, cmd, tail)
+	data := f.MarshalTo(nil)
+	declared := SignalHeaderSize + len(f.Data)
+	return Packet{
+		Length:    uint16(min(declared, MaxPayload)),
+		ChannelID: CIDSignaling,
+		Payload:   data,
+	}
+}

@@ -1,0 +1,122 @@
+package l2cap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestParseSignalsMultipleCommands(t *testing.T) {
+	var payload []byte
+	payload = EncodeFrame(1, &InformationReq{InfoType: InfoTypeExtendedFeatures}, nil).MarshalTo(payload)
+	payload = EncodeFrame(2, &EchoReq{Data: []byte{0xAA}}, nil).MarshalTo(payload)
+	payload = EncodeFrame(3, &DisconnectionReq{DCID: 0x0040, SCID: 0x0041}, nil).MarshalTo(payload)
+
+	frames, err := ParseSignals(payload)
+	if err != nil {
+		t.Fatalf("ParseSignals() error = %v", err)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("len(frames) = %d, want 3", len(frames))
+	}
+	wantCodes := []CommandCode{CodeInformationReq, CodeEchoReq, CodeDisconnectionReq}
+	for i, f := range frames {
+		if f.Code != wantCodes[i] {
+			t.Errorf("frames[%d].Code = %v, want %v", i, f.Code, wantCodes[i])
+		}
+		if f.Identifier != uint8(i+1) {
+			t.Errorf("frames[%d].Identifier = %d, want %d", i, f.Identifier, i+1)
+		}
+	}
+}
+
+func TestParseSignalsTrailingFragmentBecomesTail(t *testing.T) {
+	payload := EncodeFrame(1, &EchoReq{}, nil).MarshalTo(nil)
+	payload = append(payload, 0xDE, 0xAD) // too short for another header
+
+	frames, err := ParseSignals(payload)
+	if err != nil {
+		t.Fatalf("ParseSignals() error = %v", err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("len(frames) = %d, want 1", len(frames))
+	}
+	if !bytes.Equal(frames[0].Tail, []byte{0xDE, 0xAD}) {
+		t.Fatalf("Tail = %x, want dead", frames[0].Tail)
+	}
+}
+
+func TestParseSignalsErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		payload []byte
+		wantErr error
+	}{
+		{name: "too short for header", payload: []byte{0x02}, wantErr: ErrShortCommand},
+		{name: "declared data overruns", payload: []byte{0x02, 0x01, 0xFF, 0x00}, wantErr: ErrDataLength},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseSignals(tt.payload); !errors.Is(err, tt.wantErr) {
+				t.Fatalf("ParseSignals() error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestUnmarshalFrameSeparatesTail(t *testing.T) {
+	f := EncodeFrame(7, &ConnectionReq{PSM: PSMSDP, SCID: 0x0040}, []byte{1, 2, 3})
+	out, err := UnmarshalFrame(f.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalFrame() error = %v", err)
+	}
+	if out.Code != CodeConnectionReq || out.Identifier != 7 {
+		t.Fatalf("header = (%v, %d), want (ConnectionReq, 7)", out.Code, out.Identifier)
+	}
+	if len(out.Data) != 4 {
+		t.Fatalf("len(Data) = %d, want 4", len(out.Data))
+	}
+	if !bytes.Equal(out.Tail, []byte{1, 2, 3}) {
+		t.Fatalf("Tail = %x, want 010203", out.Tail)
+	}
+}
+
+func TestDecodeCommandUnknownCode(t *testing.T) {
+	_, err := DecodeCommand(Frame{Code: 0x7F})
+	if !errors.Is(err, ErrUnknownCode) {
+		t.Fatalf("DecodeCommand() error = %v, want ErrUnknownCode", err)
+	}
+}
+
+func TestCommandCodeProperties(t *testing.T) {
+	codes := AllCommandCodes()
+	if len(codes) != NumCommandCodes {
+		t.Fatalf("AllCommandCodes() returned %d codes, want %d", len(codes), NumCommandCodes)
+	}
+	seen := make(map[CommandCode]bool, len(codes))
+	for _, c := range codes {
+		if !c.Valid() {
+			t.Errorf("code %v reported invalid", c)
+		}
+		if seen[c] {
+			t.Errorf("code %v duplicated", c)
+		}
+		seen[c] = true
+		if c.String() == "" {
+			t.Errorf("code %v has empty name", c)
+		}
+	}
+	if CommandCode(0x00).Valid() || CommandCode(0x1B).Valid() {
+		t.Error("out-of-range codes reported valid")
+	}
+	// Exactly 12 request-style codes.
+	reqs := 0
+	for _, c := range codes {
+		if c.IsRequest() {
+			reqs++
+		}
+	}
+	if reqs != 12 {
+		t.Errorf("IsRequest() true for %d codes, want 12", reqs)
+	}
+}

@@ -1,0 +1,47 @@
+package radio
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// BDAddr is a 6-byte Bluetooth device address (MAC). The first three
+// bytes are the Organizationally Unique Identifier (OUI) that L2Fuzz's
+// target-scanning phase records.
+type BDAddr [6]byte
+
+// ParseBDAddr parses "AA:BB:CC:DD:EE:FF" (case-insensitive).
+func ParseBDAddr(s string) (BDAddr, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return BDAddr{}, fmt.Errorf("radio: address %q does not have 6 octets", s)
+	}
+	var a BDAddr
+	for i, p := range parts {
+		b, err := hex.DecodeString(p)
+		if err != nil || len(b) != 1 {
+			return BDAddr{}, fmt.Errorf("radio: bad octet %q in address %q", p, s)
+		}
+		a[i] = b[0]
+	}
+	return a, nil
+}
+
+// MustBDAddr parses an address and panics on malformed input. It is meant
+// for static device catalogs and tests where the literal is fixed.
+func MustBDAddr(s string) BDAddr {
+	a, err := ParseBDAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// OUI returns the 3-byte organizationally unique identifier prefix.
+func (a BDAddr) OUI() [3]byte { return [3]byte{a[0], a[1], a[2]} }
+
+// String renders the address in colon-separated form.
+func (a BDAddr) String() string {
+	return fmt.Sprintf("%02X:%02X:%02X:%02X:%02X:%02X", a[0], a[1], a[2], a[3], a[4], a[5])
+}

@@ -1,0 +1,23 @@
+package radio
+
+import "time"
+
+// Clock is the simulated time source of the medium. All elapsed-time
+// figures the reproduction reports (Table VI) come from a Clock, never
+// from the wall clock, so runs are deterministic.
+//
+// The zero value is a clock at instant zero, ready to use.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the simulated time since the start of the run.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves simulated time forward. Negative durations are ignored:
+// simulated time never runs backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}

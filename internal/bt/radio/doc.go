@@ -1,0 +1,15 @@
+// Package radio provides the deterministic in-memory transmission medium
+// that substitutes for the physical BR/EDR radio and USB dongle of the
+// L2Fuzz paper's testbed.
+//
+// The medium is a discrete-event simulation: a single simulated Clock
+// advances as frames are carried, endpoints are registered by Bluetooth
+// device address (BD_ADDR), and every delivered frame can be observed by
+// taps — the substitute for the Wireshark capture the paper uses to
+// measure its mutation-efficiency metrics.
+//
+// Determinism contract: given the same sequence of calls, the medium
+// produces the same deliveries, timestamps and tap events. There are no
+// goroutines and no wall-clock reads; all concurrency-sensitive state is
+// owned by the single test/benchmark goroutine driving the simulation.
+package radio

@@ -1,0 +1,240 @@
+package radio
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+type fakeEndpoint struct {
+	addr         BDAddr
+	connectable  bool
+	discoverable bool
+	name         string
+	got          [][]byte
+}
+
+func (f *fakeEndpoint) Address() BDAddr { return f.addr }
+func (f *fakeEndpoint) ReceiveFrame(_ BDAddr, data []byte) {
+	f.got = append(f.got, append([]byte(nil), data...))
+}
+func (f *fakeEndpoint) Connectable() bool { return f.connectable }
+func (f *fakeEndpoint) Discoverable() (InquiryResult, bool) {
+	if !f.discoverable {
+		return InquiryResult{}, false
+	}
+	return InquiryResult{Addr: f.addr, Name: f.name}, true
+}
+
+func newTestMedium() *Medium { return NewMedium(nil, DefaultTiming()) }
+
+func TestParseBDAddr(t *testing.T) {
+	tests := []struct {
+		in      string
+		wantErr bool
+	}{
+		{"AA:BB:CC:DD:EE:FF", false},
+		{"aa:bb:cc:dd:ee:ff", false},
+		{"00:11:22:33:44:55", false},
+		{"AA:BB:CC:DD:EE", true},
+		{"AA:BB:CC:DD:EE:GG", true},
+		{"AABBCCDDEEFF", true},
+		{"", true},
+	}
+	for _, tt := range tests {
+		a, err := ParseBDAddr(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseBDAddr(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && a.String() != "AA:BB:CC:DD:EE:FF" && tt.in == "aa:bb:cc:dd:ee:ff" {
+			t.Errorf("round trip of %q = %q", tt.in, a.String())
+		}
+	}
+}
+
+func TestBDAddrOUI(t *testing.T) {
+	a := MustBDAddr("F8:8F:CA:12:34:56")
+	if got := a.OUI(); got != [3]byte{0xF8, 0x8F, 0xCA} {
+		t.Errorf("OUI() = %x", got)
+	}
+}
+
+func TestMustBDAddrPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBDAddr did not panic on malformed input")
+		}
+	}()
+	MustBDAddr("nope")
+}
+
+func TestClockNeverRunsBackwards(t *testing.T) {
+	var c Clock
+	c.Advance(5 * time.Millisecond)
+	c.Advance(-time.Hour)
+	if c.Now() != 5*time.Millisecond {
+		t.Errorf("Now() = %v, want 5ms", c.Now())
+	}
+}
+
+func TestRegisterDuplicateAddress(t *testing.T) {
+	m := newTestMedium()
+	a := &fakeEndpoint{addr: MustBDAddr("00:00:00:00:00:01")}
+	if err := m.Register(a); err != nil {
+		t.Fatalf("first Register() error = %v", err)
+	}
+	if err := m.Register(a); !errors.Is(err, ErrDuplicateAddress) {
+		t.Fatalf("second Register() error = %v, want ErrDuplicateAddress", err)
+	}
+}
+
+func TestPageAndCarry(t *testing.T) {
+	m := newTestMedium()
+	src := &fakeEndpoint{addr: MustBDAddr("00:00:00:00:00:01")}
+	dst := &fakeEndpoint{addr: MustBDAddr("00:00:00:00:00:02"), connectable: true}
+	for _, ep := range []*fakeEndpoint{src, dst} {
+		if err := m.Register(ep); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Carrying before paging fails.
+	if err := m.Carry(src.addr, dst.addr, []byte{1}); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("Carry before page error = %v, want ErrNotConnected", err)
+	}
+
+	if err := m.Page(src.addr, dst.addr); err != nil {
+		t.Fatalf("Page() error = %v", err)
+	}
+	if !m.Linked(src.addr, dst.addr) || !m.Linked(dst.addr, src.addr) {
+		t.Fatal("link must be symmetric")
+	}
+
+	before := m.Clock().Now()
+	if err := m.Carry(src.addr, dst.addr, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("Carry() error = %v", err)
+	}
+	if m.Clock().Now() <= before {
+		t.Error("Carry must advance the clock")
+	}
+	if len(dst.got) != 1 || len(dst.got[0]) != 3 {
+		t.Fatalf("delivery = %v, want one 3-byte frame", dst.got)
+	}
+
+	m.Drop(src.addr, dst.addr)
+	if m.Linked(src.addr, dst.addr) {
+		t.Error("Drop did not tear the link down")
+	}
+}
+
+func TestPageErrors(t *testing.T) {
+	m := newTestMedium()
+	src := &fakeEndpoint{addr: MustBDAddr("00:00:00:00:00:01")}
+	offline := &fakeEndpoint{addr: MustBDAddr("00:00:00:00:00:03"), connectable: false}
+	if err := m.Register(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(offline); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.Page(src.addr, MustBDAddr("00:00:00:00:00:99")); !errors.Is(err, ErrUnknownAddress) {
+		t.Errorf("Page(unknown) error = %v, want ErrUnknownAddress", err)
+	}
+	if err := m.Page(src.addr, offline.addr); !errors.Is(err, ErrNotConnectable) {
+		t.Errorf("Page(unconnectable) error = %v, want ErrNotConnectable", err)
+	}
+	if err := m.Page(MustBDAddr("00:00:00:00:00:98"), offline.addr); !errors.Is(err, ErrUnknownAddress) {
+		t.Errorf("Page(from unknown) error = %v, want ErrUnknownAddress", err)
+	}
+}
+
+func TestInquiryFindsOnlyDiscoverable(t *testing.T) {
+	m := newTestMedium()
+	origin := &fakeEndpoint{addr: MustBDAddr("00:00:00:00:00:01"), discoverable: true}
+	visible := &fakeEndpoint{addr: MustBDAddr("00:00:00:00:00:03"), discoverable: true, name: "visible"}
+	hidden := &fakeEndpoint{addr: MustBDAddr("00:00:00:00:00:02"), discoverable: false}
+	visible2 := &fakeEndpoint{addr: MustBDAddr("00:00:00:00:00:04"), discoverable: true, name: "visible2"}
+	for _, ep := range []*fakeEndpoint{origin, visible, hidden, visible2} {
+		if err := m.Register(ep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Inquiry(origin.addr)
+	if len(got) != 2 {
+		t.Fatalf("Inquiry() found %d devices, want 2", len(got))
+	}
+	// Sorted by address, and the origin itself is excluded.
+	if got[0].Addr != visible.addr || got[1].Addr != visible2.addr {
+		t.Errorf("Inquiry() order = %v, %v", got[0].Addr, got[1].Addr)
+	}
+}
+
+func TestTapsSeeEveryFrame(t *testing.T) {
+	m := newTestMedium()
+	src := &fakeEndpoint{addr: MustBDAddr("00:00:00:00:00:01")}
+	dst := &fakeEndpoint{addr: MustBDAddr("00:00:00:00:00:02"), connectable: true}
+	for _, ep := range []*fakeEndpoint{src, dst} {
+		if err := m.Register(ep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Page(src.addr, dst.addr); err != nil {
+		t.Fatal(err)
+	}
+	var taps []TapFrame
+	m.AddTap(func(f TapFrame) { taps = append(taps, f) })
+
+	m.FaultEveryN = 2 // drop every 2nd frame
+	for i := 0; i < 4; i++ {
+		if err := m.Carry(src.addr, dst.addr, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(taps) != 4 {
+		t.Errorf("taps saw %d frames, want 4 (including dropped)", len(taps))
+	}
+	if len(dst.got) != 2 {
+		t.Errorf("endpoint received %d frames, want 2 (every 2nd dropped)", len(dst.got))
+	}
+	for i := 1; i < len(taps); i++ {
+		if taps[i].Time < taps[i-1].Time {
+			t.Error("tap timestamps must be monotone")
+		}
+	}
+}
+
+func TestUnregisterTearsDownLinks(t *testing.T) {
+	m := newTestMedium()
+	src := &fakeEndpoint{addr: MustBDAddr("00:00:00:00:00:01")}
+	dst := &fakeEndpoint{addr: MustBDAddr("00:00:00:00:00:02"), connectable: true}
+	for _, ep := range []*fakeEndpoint{src, dst} {
+		if err := m.Register(ep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Page(src.addr, dst.addr); err != nil {
+		t.Fatal(err)
+	}
+	m.Unregister(dst.addr)
+	if m.Linked(src.addr, dst.addr) {
+		t.Error("links to an unregistered endpoint must vanish")
+	}
+	if err := m.Carry(src.addr, dst.addr, []byte{1}); !errors.Is(err, ErrUnknownAddress) {
+		t.Errorf("Carry to unregistered error = %v, want ErrUnknownAddress", err)
+	}
+}
+
+// Property: BDAddr String/Parse round-trips for arbitrary addresses.
+func TestQuickBDAddrRoundTrip(t *testing.T) {
+	f := func(raw [6]byte) bool {
+		a := BDAddr(raw)
+		back, err := ParseBDAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+// Package rfcomm implements the subset of the RFCOMM protocol
+// (GSM TS 07.10 over L2CAP, PSM 0x0003) needed to demonstrate the
+// paper's §V extension claim: that L2Fuzz's two techniques — state
+// guiding and core field mutating — transfer to the other Bluetooth core
+// protocols stacked above L2CAP.
+//
+// The package provides:
+//
+//   - the TS 07.10 frame codec: address octet (EA/CR/DLCI), control
+//     octet (SABM, UA, DM, DISC, UIH with the poll/final bit), one- and
+//     two-octet length encoding, and the real reflected CRC-8 frame check
+//     sequence — the FCS is a *dependent* field in the paper's taxonomy,
+//     computed rather than mutated;
+//   - a multiplexer session state machine per data link connection
+//     (closed → SABM-wait → connected → disconnect), mirroring how the
+//     L2CAP machine drives the device model;
+//   - a server-side Mux the simulated devices mount on their RFCOMM
+//     L2CAP channel, with an optional injected defect so the extension
+//     fuzzer has something to find.
+//
+// The field classification carries over exactly as §V predicts: the DLCI
+// (the RFCOMM analogue of a port/channel) is the mutable core field;
+// EA bits, lengths and the FCS are dependent; UIH payloads are
+// application data left at defaults plus a bounded garbage tail.
+package rfcomm

@@ -1,0 +1,199 @@
+package rfcomm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FrameType is the TS 07.10 control-octet frame type (poll/final bit
+// masked out).
+type FrameType uint8
+
+// RFCOMM frame types.
+const (
+	// FrameSABM (set asynchronous balanced mode) opens a DLC.
+	FrameSABM FrameType = 0x2F
+	// FrameUA (unnumbered acknowledgement) accepts SABM/DISC.
+	FrameUA FrameType = 0x63
+	// FrameDM (disconnected mode) refuses a command.
+	FrameDM FrameType = 0x0F
+	// FrameDISC closes a DLC.
+	FrameDISC FrameType = 0x43
+	// FrameUIH carries data (unnumbered information with header check).
+	FrameUIH FrameType = 0xEF
+)
+
+// pfBit is the poll/final bit within the control octet.
+const pfBit = 0x10
+
+// MaxDLCI is the largest data-link connection identifier (6 bits).
+const MaxDLCI = 63
+
+// Decode errors.
+var (
+	// ErrShortFrame indicates fewer bytes than the minimal frame.
+	ErrShortFrame = errors.New("rfcomm: frame too short")
+	// ErrBadFCS indicates a frame-check-sequence mismatch.
+	ErrBadFCS = errors.New("rfcomm: FCS mismatch")
+	// ErrBadLength indicates a length field inconsistent with the frame.
+	ErrBadLength = errors.New("rfcomm: length mismatch")
+	// ErrBadType indicates an undefined control octet.
+	ErrBadType = errors.New("rfcomm: unknown frame type")
+)
+
+// Valid reports whether t is one of the five defined frame types.
+func (t FrameType) Valid() bool {
+	switch t {
+	case FrameSABM, FrameUA, FrameDM, FrameDISC, FrameUIH:
+		return true
+	default:
+		return false
+	}
+}
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameSABM:
+		return "SABM"
+	case FrameUA:
+		return "UA"
+	case FrameDM:
+		return "DM"
+	case FrameDISC:
+		return "DISC"
+	case FrameUIH:
+		return "UIH"
+	default:
+		return fmt.Sprintf("FrameType(0x%02X)", uint8(t))
+	}
+}
+
+// Frame is one RFCOMM frame.
+type Frame struct {
+	// DLCI is the data-link connection identifier (0 = control channel).
+	// It is the mutable-core field of the RFCOMM frame: the analogue of
+	// L2CAP's PSM/CID port-and-channel settings.
+	DLCI uint8
+	// CommandResponse is the C/R bit of the address octet.
+	CommandResponse bool
+	// Type is the frame type.
+	Type FrameType
+	// PollFinal is the P/F bit.
+	PollFinal bool
+	// Payload is the information field (UIH frames).
+	Payload []byte
+	// Tail is any garbage carried beyond the FCS — the same
+	// declared-length-versus-actual-bytes trick core field mutating uses
+	// at the L2CAP layer.
+	Tail []byte
+}
+
+// Marshal encodes the frame with a correct FCS.
+func (f Frame) Marshal() []byte {
+	addr := uint8(0x01) // EA bit
+	if f.CommandResponse {
+		addr |= 0x02
+	}
+	addr |= (f.DLCI & 0x3F) << 2
+
+	ctrl := uint8(f.Type)
+	if f.PollFinal {
+		ctrl |= pfBit
+	}
+
+	out := []byte{addr, ctrl}
+	n := len(f.Payload)
+	if n <= 127 {
+		out = append(out, uint8(n<<1)|0x01) // one-octet length, EA set
+	} else {
+		out = append(out, uint8(n<<1), uint8(n>>7)) // two octets, EA clear
+	}
+	headerLen := len(out)
+	out = append(out, f.Payload...)
+
+	// FCS: over address+control for UIH, over address+control+length
+	// otherwise (TS 07.10 §5.2.1.6).
+	span := 2
+	if f.Type != FrameUIH {
+		span = headerLen
+	}
+	out = append(out, fcs(out[:span]))
+	return append(out, f.Tail...)
+}
+
+// Unmarshal decodes one frame, verifying the FCS and treating bytes
+// beyond the FCS as Tail.
+func Unmarshal(raw []byte) (Frame, error) {
+	if len(raw) < 4 {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrShortFrame, len(raw))
+	}
+	var f Frame
+	addr := raw[0]
+	f.DLCI = addr >> 2 & 0x3F
+	f.CommandResponse = addr&0x02 != 0
+
+	ctrl := raw[1]
+	f.PollFinal = ctrl&pfBit != 0
+	f.Type = FrameType(ctrl &^ pfBit)
+	if !f.Type.Valid() {
+		return Frame{}, fmt.Errorf("%w: 0x%02X", ErrBadType, ctrl)
+	}
+
+	// Length field (EA-encoded).
+	var n, headerLen int
+	if raw[2]&0x01 != 0 {
+		n = int(raw[2] >> 1)
+		headerLen = 3
+	} else {
+		if len(raw) < 5 {
+			return Frame{}, fmt.Errorf("%w: truncated two-octet length", ErrShortFrame)
+		}
+		n = int(raw[2]>>1) | int(raw[3])<<7
+		headerLen = 4
+	}
+	if len(raw) < headerLen+n+1 {
+		return Frame{}, fmt.Errorf("%w: declared %d payload bytes, frame has %d",
+			ErrBadLength, n, len(raw)-headerLen-1)
+	}
+	f.Payload = append([]byte(nil), raw[headerLen:headerLen+n]...)
+
+	span := 2
+	if f.Type != FrameUIH {
+		span = headerLen
+	}
+	if got, want := raw[headerLen+n], fcs(raw[:span]); got != want {
+		return Frame{}, fmt.Errorf("%w: got 0x%02X, want 0x%02X", ErrBadFCS, got, want)
+	}
+	f.Tail = append([]byte(nil), raw[headerLen+n+1:]...)
+	return f, nil
+}
+
+// fcs computes the TS 07.10 frame check sequence: reflected CRC-8 with
+// polynomial x⁸+x²+x+1, initial value 0xFF, final complement.
+func fcs(data []byte) uint8 {
+	crc := uint8(0xFF)
+	for _, b := range data {
+		crc = crcTable[crc^b]
+	}
+	return ^crc
+}
+
+// crcTable is the reflected CRC-8 table for polynomial 0x07 (reflected
+// 0xE0), as specified by GSM TS 07.10 Annex B.
+var crcTable = buildCRCTable()
+
+func buildCRCTable() [256]uint8 {
+	var table [256]uint8
+	for i := 0; i < 256; i++ {
+		crc := uint8(i)
+		for bit := 0; bit < 8; bit++ {
+			if crc&0x01 != 0 {
+				crc = crc>>1 ^ 0xE0
+			} else {
+				crc >>= 1
+			}
+		}
+		table[i] = crc
+	}
+	return table
+}

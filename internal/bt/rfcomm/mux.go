@@ -1,0 +1,203 @@
+package rfcomm
+
+import "fmt"
+
+// DLCState is the state of one data-link connection: the RFCOMM
+// analogue of the L2CAP channel state machine, clustered the same way
+// the paper clusters L2CAP states into jobs.
+type DLCState uint8
+
+// DLC states.
+const (
+	// DLCClosed is the resting state.
+	DLCClosed DLCState = iota + 1
+	// DLCConnecting is occupied while a SABM awaits the upper layer.
+	DLCConnecting
+	// DLCConnected is the data-transfer state.
+	DLCConnected
+	// DLCDisconnecting is occupied while a DISC completes.
+	DLCDisconnecting
+)
+
+func (s DLCState) String() string {
+	switch s {
+	case DLCClosed:
+		return "CLOSED"
+	case DLCConnecting:
+		return "CONNECTING"
+	case DLCConnected:
+		return "CONNECTED"
+	case DLCDisconnecting:
+		return "DISCONNECTING"
+	default:
+		return fmt.Sprintf("DLCState(%d)", uint8(s))
+	}
+}
+
+// Service is one RFCOMM-published service (a server channel).
+type Service struct {
+	// Channel is the server channel number (1-30); the DLCI of its DLC
+	// is channel<<1 | direction.
+	Channel uint8
+	// Name is a human-readable label.
+	Name string
+}
+
+// MuxDefect is an injected RFCOMM-layer defect for the §V extension
+// demonstration: a predicate over incoming frames that, when true, kills
+// the multiplexer.
+type MuxDefect func(Frame) bool
+
+// ReservedDLCIDefect reproduces the shape of the L2CAP findings one
+// layer up: a SABM addressed to a reserved DLCI (62 or 63) with a
+// garbage tail dereferences an unallocated DLC control block.
+func ReservedDLCIDefect() MuxDefect {
+	return func(f Frame) bool {
+		return f.Type == FrameSABM && f.DLCI >= 62 && len(f.Tail) > 0
+	}
+}
+
+// Mux is the server-side RFCOMM multiplexer mounted on a device's RFCOMM
+// L2CAP channel. It is not safe for concurrent use (single-threaded
+// simulation).
+type Mux struct {
+	services []Service
+	defect   MuxDefect
+
+	dlcs    map[uint8]DLCState
+	started bool // DLCI 0 (control channel) established
+	crashed bool
+	visited map[DLCState]bool
+}
+
+// NewMux builds a multiplexer over the published services. defect may be
+// nil for a robust mux.
+func NewMux(services []Service, defect MuxDefect) *Mux {
+	m := &Mux{
+		services: append([]Service(nil), services...),
+		defect:   defect,
+		dlcs:     make(map[uint8]DLCState),
+		visited:  map[DLCState]bool{DLCClosed: true},
+	}
+	return m
+}
+
+// Crashed reports whether the injected defect has fired.
+func (m *Mux) Crashed() bool { return m.crashed }
+
+// StatesVisited returns the DLC states any connection has occupied.
+func (m *Mux) StatesVisited() []DLCState {
+	var out []DLCState
+	for s := DLCClosed; s <= DLCDisconnecting; s++ {
+		if m.visited[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// serviceForDLCI reports whether a service listens behind dlci.
+func (m *Mux) serviceForDLCI(dlci uint8) bool {
+	for _, s := range m.services {
+		if s.Channel<<1 == dlci&^0x01 {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Mux) setState(dlci uint8, s DLCState) {
+	m.dlcs[dlci] = s
+	m.visited[s] = true
+	if s == DLCClosed {
+		delete(m.dlcs, dlci)
+	}
+}
+
+// State returns the state of one DLC (closed when never seen).
+func (m *Mux) State(dlci uint8) DLCState {
+	if s, ok := m.dlcs[dlci]; ok {
+		return s
+	}
+	return DLCClosed
+}
+
+// Handle processes one raw RFCOMM frame and returns the response frames'
+// wire bytes (nil when the frame is dropped or the mux died).
+func (m *Mux) Handle(raw []byte) [][]byte {
+	if m.crashed {
+		return nil
+	}
+	f, err := Unmarshal(raw)
+	if err != nil {
+		// Bad FCS or undecodable frames are dropped silently (TS 07.10):
+		// the RFCOMM analogue of "command not understood".
+		return nil
+	}
+	if m.defect != nil && m.defect(f) {
+		m.crashed = true
+		return nil
+	}
+	switch f.Type {
+	case FrameSABM:
+		return m.onSABM(f)
+	case FrameDISC:
+		return m.onDISC(f)
+	case FrameUIH:
+		return m.onUIH(f)
+	case FrameUA, FrameDM:
+		return nil // responses to nothing we sent; ignored
+	default:
+		return nil
+	}
+}
+
+func (m *Mux) onSABM(f Frame) [][]byte {
+	ua := Frame{DLCI: f.DLCI, CommandResponse: false, Type: FrameUA, PollFinal: true}
+	dm := Frame{DLCI: f.DLCI, CommandResponse: false, Type: FrameDM, PollFinal: true}
+	switch {
+	case f.DLCI == 0:
+		// Control channel: always accepted; starts the session.
+		m.started = true
+		m.setState(0, DLCConnected)
+		return [][]byte{ua.Marshal()}
+	case !m.started:
+		// Data DLC before the control channel: refused.
+		return [][]byte{dm.Marshal()}
+	case m.serviceForDLCI(f.DLCI):
+		m.setState(f.DLCI, DLCConnecting)
+		m.setState(f.DLCI, DLCConnected)
+		return [][]byte{ua.Marshal()}
+	default:
+		return [][]byte{dm.Marshal()}
+	}
+}
+
+func (m *Mux) onDISC(f Frame) [][]byte {
+	if m.State(f.DLCI) == DLCClosed {
+		dm := Frame{DLCI: f.DLCI, Type: FrameDM, PollFinal: true}
+		return [][]byte{dm.Marshal()}
+	}
+	m.setState(f.DLCI, DLCDisconnecting)
+	m.setState(f.DLCI, DLCClosed)
+	if f.DLCI == 0 {
+		// Closing the control channel ends the session.
+		m.started = false
+		for dlci := range m.dlcs {
+			m.setState(dlci, DLCClosed)
+		}
+	}
+	ua := Frame{DLCI: f.DLCI, Type: FrameUA, PollFinal: true}
+	return [][]byte{ua.Marshal()}
+}
+
+func (m *Mux) onUIH(f Frame) [][]byte {
+	if m.State(f.DLCI) != DLCConnected {
+		dm := Frame{DLCI: f.DLCI, Type: FrameDM, PollFinal: true}
+		return [][]byte{dm.Marshal()}
+	}
+	// Loop data back on connected DLCs: enough behaviour for the fuzzer
+	// to observe liveness.
+	echo := Frame{DLCI: f.DLCI, Type: FrameUIH, Payload: f.Payload}
+	return [][]byte{echo.Marshal()}
+}

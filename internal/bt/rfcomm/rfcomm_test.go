@@ -1,0 +1,252 @@
+package rfcomm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrips(t *testing.T) {
+	tests := []struct {
+		name  string
+		frame Frame
+	}{
+		{"SABM control channel", Frame{DLCI: 0, CommandResponse: true, Type: FrameSABM, PollFinal: true}},
+		{"UA", Frame{DLCI: 2, Type: FrameUA, PollFinal: true}},
+		{"DM", Frame{DLCI: 63, Type: FrameDM}},
+		{"DISC", Frame{DLCI: 4, CommandResponse: true, Type: FrameDISC, PollFinal: true}},
+		{"UIH short", Frame{DLCI: 2, Type: FrameUIH, Payload: []byte("hello")}},
+		{"UIH empty", Frame{DLCI: 2, Type: FrameUIH}},
+		{"UIH long (two-octet length)", Frame{DLCI: 6, Type: FrameUIH, Payload: bytes.Repeat([]byte{0xAB}, 300)}},
+		{"garbage tail", Frame{DLCI: 0, Type: FrameSABM, Tail: []byte{0xDE, 0xAD}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out, err := Unmarshal(tt.frame.Marshal())
+			if err != nil {
+				t.Fatalf("Unmarshal() error = %v", err)
+			}
+			if out.DLCI != tt.frame.DLCI || out.Type != tt.frame.Type ||
+				out.PollFinal != tt.frame.PollFinal || out.CommandResponse != tt.frame.CommandResponse {
+				t.Errorf("header mismatch: got %+v, want %+v", out, tt.frame)
+			}
+			if !bytes.Equal(out.Payload, tt.frame.Payload) {
+				t.Errorf("payload mismatch")
+			}
+			if !bytes.Equal(out.Tail, tt.frame.Tail) {
+				t.Errorf("tail = %x, want %x", out.Tail, tt.frame.Tail)
+			}
+		})
+	}
+}
+
+func TestUnmarshalRejectsCorruptFCS(t *testing.T) {
+	raw := Frame{DLCI: 2, Type: FrameSABM}.Marshal()
+	raw[len(raw)-1] ^= 0xFF
+	if _, err := Unmarshal(raw); !errors.Is(err, ErrBadFCS) {
+		t.Fatalf("error = %v, want ErrBadFCS", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		raw     []byte
+		wantErr error
+	}{
+		{"too short", []byte{1, 2}, ErrShortFrame},
+		{"unknown type", []byte{0x01, 0x55, 0x01, 0x00}, ErrBadType},
+		{"length overrun", []byte{0x01, 0x2F, 0x0B, 0x00}, ErrBadLength},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Unmarshal(tt.raw); !errors.Is(err, tt.wantErr) {
+				t.Fatalf("error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestFCSSpans(t *testing.T) {
+	// For UIH the FCS covers only address+control, so corrupting the
+	// payload must NOT fail the FCS; for SABM it covers the length too.
+	uih := Frame{DLCI: 2, Type: FrameUIH, Payload: []byte{1, 2, 3}}.Marshal()
+	uih[3] ^= 0xFF // payload byte
+	if _, err := Unmarshal(uih); err != nil {
+		t.Fatalf("UIH payload corruption failed FCS: %v", err)
+	}
+	sabm := Frame{DLCI: 2, Type: FrameSABM}.Marshal()
+	sabm[2] ^= 0x02 // length field (keep EA bit)
+	if _, err := Unmarshal(sabm); err == nil {
+		t.Fatal("SABM length corruption passed FCS")
+	}
+}
+
+func TestMuxSessionLifecycle(t *testing.T) {
+	m := NewMux([]Service{{Channel: 1, Name: "SPP"}}, nil)
+
+	// Data DLC before control channel: refused with DM.
+	rsp := m.Handle(Frame{DLCI: 2, CommandResponse: true, Type: FrameSABM, PollFinal: true}.Marshal())
+	assertTypes(t, rsp, FrameDM)
+
+	// Control channel SABM: UA.
+	rsp = m.Handle(Frame{DLCI: 0, CommandResponse: true, Type: FrameSABM, PollFinal: true}.Marshal())
+	assertTypes(t, rsp, FrameUA)
+
+	// Service channel 1 → DLCI 2: UA.
+	rsp = m.Handle(Frame{DLCI: 2, CommandResponse: true, Type: FrameSABM, PollFinal: true}.Marshal())
+	assertTypes(t, rsp, FrameUA)
+	if m.State(2) != DLCConnected {
+		t.Fatalf("DLC 2 state = %v, want CONNECTED", m.State(2))
+	}
+
+	// Unknown service DLCI: DM.
+	rsp = m.Handle(Frame{DLCI: 10, CommandResponse: true, Type: FrameSABM, PollFinal: true}.Marshal())
+	assertTypes(t, rsp, FrameDM)
+
+	// Data on the connected DLC echoes.
+	rsp = m.Handle(Frame{DLCI: 2, Type: FrameUIH, Payload: []byte("ping")}.Marshal())
+	assertTypes(t, rsp, FrameUIH)
+	if f, _ := Unmarshal(rsp[0]); string(f.Payload) != "ping" {
+		t.Fatalf("echo payload = %q", f.Payload)
+	}
+
+	// Data on a closed DLC: DM.
+	rsp = m.Handle(Frame{DLCI: 4, Type: FrameUIH, Payload: []byte("x")}.Marshal())
+	assertTypes(t, rsp, FrameDM)
+
+	// Disconnect the DLC, then the session.
+	rsp = m.Handle(Frame{DLCI: 2, CommandResponse: true, Type: FrameDISC, PollFinal: true}.Marshal())
+	assertTypes(t, rsp, FrameUA)
+	if m.State(2) != DLCClosed {
+		t.Fatalf("DLC 2 state = %v, want CLOSED", m.State(2))
+	}
+	rsp = m.Handle(Frame{DLCI: 0, CommandResponse: true, Type: FrameDISC, PollFinal: true}.Marshal())
+	assertTypes(t, rsp, FrameUA)
+
+	// After session end, data DLCs are refused again.
+	rsp = m.Handle(Frame{DLCI: 2, CommandResponse: true, Type: FrameSABM, PollFinal: true}.Marshal())
+	assertTypes(t, rsp, FrameDM)
+
+	// All four DLC states were visited.
+	if got := len(m.StatesVisited()); got != 4 {
+		t.Fatalf("visited %d states, want 4: %v", got, m.StatesVisited())
+	}
+}
+
+func TestMuxDropsCorruptFrames(t *testing.T) {
+	m := NewMux(nil, nil)
+	raw := Frame{DLCI: 0, Type: FrameSABM}.Marshal()
+	raw[len(raw)-1] ^= 0x01
+	if rsp := m.Handle(raw); rsp != nil {
+		t.Fatalf("corrupt frame answered with %d frames, want silence", len(rsp))
+	}
+}
+
+func TestMuxDISCOnClosedDLC(t *testing.T) {
+	m := NewMux(nil, nil)
+	rsp := m.Handle(Frame{DLCI: 5, Type: FrameDISC, PollFinal: true}.Marshal())
+	assertTypes(t, rsp, FrameDM)
+}
+
+func TestReservedDLCIDefect(t *testing.T) {
+	m := NewMux([]Service{{Channel: 1, Name: "SPP"}}, ReservedDLCIDefect())
+	// Establish the session first.
+	m.Handle(Frame{DLCI: 0, CommandResponse: true, Type: FrameSABM, PollFinal: true}.Marshal())
+
+	// The killer frame: SABM to a reserved DLCI with a garbage tail.
+	rsp := m.Handle(Frame{DLCI: 63, CommandResponse: true, Type: FrameSABM, PollFinal: true, Tail: []byte{0xD2}}.Marshal())
+	if rsp != nil {
+		t.Fatalf("defect frame got %d responses, want silence (mux died)", len(rsp))
+	}
+	if !m.Crashed() {
+		t.Fatal("defect did not fire")
+	}
+	// Everything is dead now.
+	if rsp := m.Handle(Frame{DLCI: 0, Type: FrameSABM}.Marshal()); rsp != nil {
+		t.Fatal("crashed mux still answers")
+	}
+}
+
+func TestReservedDLCIDefectNeedsTail(t *testing.T) {
+	m := NewMux(nil, ReservedDLCIDefect())
+	m.Handle(Frame{DLCI: 0, CommandResponse: true, Type: FrameSABM, PollFinal: true}.Marshal())
+	// Same frame without the tail: survives (answered with DM).
+	rsp := m.Handle(Frame{DLCI: 63, CommandResponse: true, Type: FrameSABM, PollFinal: true}.Marshal())
+	assertTypes(t, rsp, FrameDM)
+	if m.Crashed() {
+		t.Fatal("defect fired without the tail")
+	}
+}
+
+func assertTypes(t *testing.T, raws [][]byte, want ...FrameType) {
+	t.Helper()
+	if len(raws) != len(want) {
+		t.Fatalf("got %d response frames, want %d", len(raws), len(want))
+	}
+	for i, raw := range raws {
+		f, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("response %d undecodable: %v", i, err)
+		}
+		if f.Type != want[i] {
+			t.Fatalf("response %d type = %v, want %v", i, f.Type, want[i])
+		}
+	}
+}
+
+// Property: Marshal∘Unmarshal is the identity on well-formed frames.
+func TestQuickFrameRoundTrip(t *testing.T) {
+	types := []FrameType{FrameSABM, FrameUA, FrameDM, FrameDISC, FrameUIH}
+	f := func(dlci uint8, typePick uint8, pf, cr bool, payload []byte) bool {
+		if len(payload) > 1000 {
+			payload = payload[:1000]
+		}
+		in := Frame{
+			DLCI:            dlci % 64,
+			CommandResponse: cr,
+			Type:            types[int(typePick)%len(types)],
+			PollFinal:       pf,
+			Payload:         payload,
+		}
+		out, err := Unmarshal(in.Marshal())
+		if err != nil {
+			return false
+		}
+		return out.DLCI == in.DLCI && out.Type == in.Type &&
+			out.PollFinal == in.PollFinal && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Unmarshal never panics and never accepts a frame whose FCS
+// byte was flipped.
+func TestQuickUnmarshalTotalAndFCSSound(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = Unmarshal(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the mux is total — any byte string is handled without panic
+// and the returned frames always decode.
+func TestQuickMuxTotal(t *testing.T) {
+	m := NewMux([]Service{{Channel: 1, Name: "SPP"}}, nil)
+	f := func(raw []byte) bool {
+		for _, rsp := range m.Handle(raw) {
+			if _, err := Unmarshal(rsp); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,18 @@
+// Package sdp implements the subset of the Bluetooth Service Discovery
+// Protocol that L2Fuzz's target-scanning phase depends on: enumerating
+// the service ports (PSMs) a device exposes, over the pairing-free SDP
+// channel (PSM 0x0001).
+//
+// The implementation is faithful where it matters for the reproduction:
+//
+//   - real data-element encoding (type/size descriptor bytes, unsigned
+//     integers, UUIDs, strings and sequences — Vol 3 Part B §3),
+//   - the ServiceSearchAttribute transaction (PDU IDs 0x06/0x07) with the
+//     standard PDU header (ID, transaction ID, parameter length),
+//   - service records carrying ServiceRecordHandle, ServiceClassIDList,
+//     ProtocolDescriptorList (where the L2CAP PSM lives) and ServiceName.
+//
+// Continuation states and the other PDU types are omitted: responses in
+// the simulation always fit one L2CAP SDU, and the scanner only ever
+// issues the one transaction the paper's workflow needs.
+package sdp

@@ -1,0 +1,21 @@
+// Package sm models the Bluetooth 5.2 L2CAP channel state machine: the 19
+// states of Figure 2 of the L2Fuzz paper (Vol 3 Part A §6 of the Bluetooth
+// Core Specification), the clustering of those states into seven jobs by
+// their events, functions and actions (paper Table I), and the
+// valid-command map used by L2Fuzz's state guiding (paper Table III).
+//
+// The package serves two consumers:
+//
+//   - the simulated vendor host stacks in internal/bt/device run a Machine
+//     per channel, using the transition table to answer (and reject)
+//     incoming signaling commands the way a conformant acceptor would;
+//   - L2Fuzz's state-guiding phase uses the job and valid-command tables
+//     to pick commands that a device in a given state will not reject, and
+//     the transition recipes to steer the device into each reachable
+//     state.
+//
+// The machine is written from the acceptor's (slave's) perspective because
+// that is the role the fuzzed device plays: a subset of 13 of the 19
+// states is reachable when the tester is the master, matching the
+// restriction the paper reports in its limitations section.
+package sm

@@ -1,0 +1,297 @@
+package sm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHappyPathConnectConfigureOpen(t *testing.T) {
+	m := NewMachine()
+	steps := []struct {
+		event      Event
+		wantAction Action
+		wantState  State
+	}{
+		{EvRecvConnectReq, ActDeliverToUpper, StateWaitConnect},
+		{EvLocalAccept, ActSendConnectRsp, StateWaitConfig},
+		{EvRecvConfigReq, ActSendConfigRsp, StateWaitSendConfig},
+		{EvLocalSendConfigReq, ActSendConfigReq, StateWaitConfigRsp},
+		{EvRecvConfigRsp, ActNone, StateOpen},
+	}
+	for i, st := range steps {
+		tr, ok := m.Apply(st.event)
+		if !ok {
+			t.Fatalf("step %d: Apply(%v) rejected in %v", i, st.event, m.State())
+		}
+		if tr.Action != st.wantAction {
+			t.Errorf("step %d: action = %v, want %v", i, tr.Action, st.wantAction)
+		}
+		if m.State() != st.wantState {
+			t.Errorf("step %d: state = %v, want %v", i, m.State(), st.wantState)
+		}
+	}
+}
+
+func TestTableIIWaitConnectRejectsInvalidEvents(t *testing.T) {
+	// Paper Table II: in WAIT_CONNECT every event except Connect Req (and
+	// the internal accept) is rejected.
+	m := NewMachine()
+	if _, ok := m.Apply(EvRecvConnectReq); !ok {
+		t.Fatal("ConnectReq must be valid in CLOSED")
+	}
+	invalid := []Event{
+		EvRecvConnectRsp, EvRecvConfigReq, EvRecvConfigRsp,
+		EvRecvDisconnectRsp, EvRecvCreateReq, EvRecvCreateRsp,
+		EvRecvMoveReq, EvRecvMoveRsp, EvRecvMoveConfirmReq,
+		EvRecvMoveConfirmRsp,
+	}
+	for _, e := range invalid {
+		if _, ok := m.Apply(e); ok {
+			t.Errorf("event %v accepted in WAIT_CONNECT, want reject", e)
+		}
+		if m.State() != StateWaitConnect {
+			t.Fatalf("state moved to %v after invalid event", m.State())
+		}
+	}
+	// The valid completion still works afterwards.
+	if tr, ok := m.Apply(EvLocalAccept); !ok || tr.Next != StateWaitConfig {
+		t.Fatalf("Apply(LocalAccept) = (%+v, %v), want WAIT_CONFIG", tr, ok)
+	}
+}
+
+func TestLockstepConfigurationPath(t *testing.T) {
+	m := NewMachine()
+	mustApply(t, m, EvRecvConnectReq)
+	mustApply(t, m, EvLocalAccept)
+
+	tr, ok := m.Apply(EvRecvConfigReqEFS)
+	if !ok {
+		t.Fatal("EFS config request rejected in WAIT_CONFIG")
+	}
+	if tr.Action != ActSendConfigRspPending {
+		t.Errorf("action = %v, want SendConfigRspPending", tr.Action)
+	}
+	if m.State() != StateWaitIndFinalRsp {
+		t.Fatalf("state = %v, want WAIT_IND_FINAL_RSP", m.State())
+	}
+	mustApply(t, m, EvLocalFinalRsp)
+	if m.State() != StateOpen {
+		t.Fatalf("state = %v, want OPEN", m.State())
+	}
+}
+
+func TestMoveChannelPath(t *testing.T) {
+	m := NewMachine()
+	driveToOpen(t, m)
+
+	mustApply(t, m, EvRecvMoveReq)
+	if m.State() != StateWaitMove {
+		t.Fatalf("state = %v, want WAIT_MOVE", m.State())
+	}
+	tr, ok := m.Apply(EvLocalAccept)
+	if !ok || tr.Action != ActSendMoveRsp {
+		t.Fatalf("Apply(LocalAccept) = (%+v, %v), want SendMoveRsp", tr, ok)
+	}
+	if m.State() != StateWaitMoveConfirm {
+		t.Fatalf("state = %v, want WAIT_MOVE_CONFIRM", m.State())
+	}
+	tr, ok = m.Apply(EvRecvMoveConfirmReq)
+	if !ok || tr.Action != ActSendMoveConfirmRsp || m.State() != StateOpen {
+		t.Fatalf("confirm step = (%+v, %v) in %v, want SendMoveConfirmRsp→OPEN", tr, ok, m.State())
+	}
+}
+
+func TestDisconnectFromOpen(t *testing.T) {
+	m := NewMachine()
+	driveToOpen(t, m)
+	mustApply(t, m, EvRecvDisconnectReq)
+	if m.State() != StateWaitDisconnect {
+		t.Fatalf("state = %v, want WAIT_DISCONNECT", m.State())
+	}
+	tr, ok := m.Apply(EvLocalAccept)
+	if !ok || tr.Action != ActSendDisconnectRsp || m.State() != StateClosed {
+		t.Fatalf("teardown = (%+v, %v) in %v, want SendDisconnectRsp→CLOSED", tr, ok, m.State())
+	}
+}
+
+func TestDisconnectDuringConfiguration(t *testing.T) {
+	// Every configuration state must honour a disconnect request.
+	for _, seq := range [][]Event{
+		{EvRecvConnectReq, EvLocalAccept},                                        // WAIT_CONFIG
+		{EvRecvConnectReq, EvLocalAccept, EvRecvConfigReq},                       // WAIT_SEND_CONFIG
+		{EvRecvConnectReq, EvLocalAccept, EvLocalSendConfigReq},                  // WAIT_CONFIG_REQ_RSP
+		{EvRecvConnectReq, EvLocalAccept, EvLocalSendConfigReq, EvRecvConfigRsp}, // WAIT_CONFIG_REQ
+		{EvRecvConnectReq, EvLocalAccept, EvRecvConfigReq, EvLocalSendConfigReq}, // WAIT_CONFIG_RSP
+		{EvRecvConnectReq, EvLocalAccept, EvRecvConfigReqEFS},                    // WAIT_IND_FINAL_RSP
+	} {
+		m := NewMachine()
+		for _, e := range seq {
+			mustApply(t, m, e)
+		}
+		from := m.State()
+		tr, ok := m.Apply(EvRecvDisconnectReq)
+		if !ok || tr.Next != StateClosed {
+			t.Errorf("disconnect in %v = (%+v, %v), want →CLOSED", from, tr, ok)
+		}
+	}
+}
+
+func TestCreateChannelPath(t *testing.T) {
+	m := NewMachine()
+	mustApply(t, m, EvRecvCreateReq)
+	if m.State() != StateWaitCreate {
+		t.Fatalf("state = %v, want WAIT_CREATE", m.State())
+	}
+	tr, ok := m.Apply(EvLocalAccept)
+	if !ok || tr.Action != ActSendCreateRsp || m.State() != StateWaitConfig {
+		t.Fatalf("create accept = (%+v, %v) in %v", tr, ok, m.State())
+	}
+}
+
+func TestInitiatorRoleStates(t *testing.T) {
+	m := NewMachine()
+	mustApply(t, m, EvLocalOpenReq)
+	if m.State() != StateWaitConnectRsp {
+		t.Fatalf("state = %v, want WAIT_CONNECT_RSP", m.State())
+	}
+	mustApply(t, m, EvRecvConnectRsp)
+	if m.State() != StateWaitConfig {
+		t.Fatalf("state = %v, want WAIT_CONFIG", m.State())
+	}
+}
+
+func TestAllResponderReachableStatesAreReachable(t *testing.T) {
+	// Drive a machine through recipes that visit all 13 responder-
+	// reachable states; the visited set must match exactly.
+	recipes := [][]Event{
+		// CLOSED → connect → config → open → move → confirm.
+		{EvRecvConnectReq, EvLocalAccept, EvLocalSendConfigReq, EvRecvConfigRsp,
+			EvRecvConfigReq, EvRecvMoveReq, EvLocalAccept, EvRecvMoveConfirmReq},
+		// Create-channel entry plus the WAIT_SEND_CONFIG / WAIT_CONFIG_RSP arm.
+		{EvRecvCreateReq, EvLocalAccept, EvRecvConfigReq, EvLocalSendConfigReq,
+			EvRecvConfigRsp, EvRecvDisconnectReq, EvLocalAccept},
+		// Lockstep configuration.
+		{EvRecvConnectReq, EvLocalAccept, EvRecvConfigReqEFS, EvLocalFinalRsp},
+	}
+	visited := make(map[State]bool)
+	for _, recipe := range recipes {
+		m := NewMachine()
+		for i, e := range recipe {
+			if _, ok := m.Apply(e); !ok {
+				t.Fatalf("recipe step %d (%v) rejected in %v", i, e, m.State())
+			}
+		}
+		for _, s := range m.Visited() {
+			visited[s] = true
+		}
+	}
+	for _, s := range ResponderReachableStates() {
+		if !visited[s] {
+			t.Errorf("responder-reachable state %v not reached by recipes", s)
+		}
+	}
+	for s := range visited {
+		if !s.ResponderReachable() {
+			t.Errorf("reached %v, which is marked responder-unreachable", s)
+		}
+	}
+}
+
+func TestVisitedDeduplicates(t *testing.T) {
+	m := NewMachine()
+	driveToOpen(t, m)
+	// First re-configuration loop may add the WAIT_SEND_CONFIG /
+	// WAIT_CONFIG_RSP arm; a second identical loop must add nothing.
+	reconfigure := func() {
+		mustApply(t, m, EvRecvConfigReq)
+		mustApply(t, m, EvLocalSendConfigReq)
+		mustApply(t, m, EvRecvConfigRsp)
+	}
+	reconfigure()
+	n := len(m.Visited())
+	reconfigure()
+	if got := len(m.Visited()); got != n {
+		t.Errorf("Visited() grew from %d to %d on identical revisits", n, got)
+	}
+}
+
+func TestForceRecordsVisit(t *testing.T) {
+	m := NewMachine()
+	m.Force(StateOpen)
+	if m.State() != StateOpen {
+		t.Fatalf("state = %v, want OPEN", m.State())
+	}
+	found := false
+	for _, s := range m.Visited() {
+		if s == StateOpen {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("forced state missing from Visited()")
+	}
+}
+
+// Property: Apply never moves to an invalid state and rejected events
+// never change state.
+func TestQuickApplyInvariants(t *testing.T) {
+	f := func(events []uint8) bool {
+		m := NewMachine()
+		for _, raw := range events {
+			before := m.State()
+			e := Event(raw%uint8(EvLocalOpenReq) + 1)
+			tr, ok := m.Apply(e)
+			if !ok && m.State() != before {
+				return false
+			}
+			if ok && (m.State() != tr.Next || !m.State().Valid()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every transition target in the table is a valid state and
+// every source state has a job.
+func TestTransitionTableClosure(t *testing.T) {
+	for _, s := range AllStates() {
+		if JobOf(s) == 0 {
+			t.Errorf("state %v has no job", s)
+		}
+		for _, e := range ValidEvents(s) {
+			tr, ok := Lookup(s, e)
+			if !ok {
+				t.Fatalf("ValidEvents listed (%v, %v) but Lookup fails", s, e)
+			}
+			if !tr.Next.Valid() {
+				t.Errorf("(%v, %v) targets invalid state %v", s, e, tr.Next)
+			}
+			if tr.Action == 0 {
+				t.Errorf("(%v, %v) has zero action", s, e)
+			}
+		}
+	}
+}
+
+func mustApply(t *testing.T, m *Machine, e Event) {
+	t.Helper()
+	if _, ok := m.Apply(e); !ok {
+		t.Fatalf("Apply(%v) rejected in state %v", e, m.State())
+	}
+}
+
+func driveToOpen(t *testing.T, m *Machine) {
+	t.Helper()
+	mustApply(t, m, EvRecvConnectReq)
+	mustApply(t, m, EvLocalAccept)
+	mustApply(t, m, EvLocalSendConfigReq)
+	mustApply(t, m, EvRecvConfigRsp)
+	mustApply(t, m, EvRecvConfigReq)
+	if m.State() != StateOpen {
+		t.Fatalf("driveToOpen ended in %v", m.State())
+	}
+}

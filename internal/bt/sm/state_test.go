@@ -1,0 +1,153 @@
+package sm
+
+import (
+	"testing"
+
+	"l2fuzz/internal/bt/l2cap"
+)
+
+func TestNineteenStates(t *testing.T) {
+	states := AllStates()
+	if len(states) != NumStates {
+		t.Fatalf("AllStates() has %d states, want %d", len(states), NumStates)
+	}
+	seen := make(map[State]bool)
+	for _, s := range states {
+		if !s.Valid() {
+			t.Errorf("%v reported invalid", s)
+		}
+		if seen[s] {
+			t.Errorf("%v duplicated", s)
+		}
+		seen[s] = true
+		if s.String() == "" {
+			t.Errorf("%v has empty name", s)
+		}
+	}
+	if State(0).Valid() || State(20).Valid() {
+		t.Error("out-of-range states reported valid")
+	}
+}
+
+func TestJobPartitionMatchesTableI(t *testing.T) {
+	// Every state belongs to exactly one job, and the per-job state sets
+	// match the paper's Table I.
+	want := map[Job][]State{
+		JobClosed:     {StateClosed},
+		JobConnection: {StateWaitConnect, StateWaitConnectRsp},
+		JobCreation:   {StateWaitCreate, StateWaitCreateRsp},
+		JobConfiguration: {
+			StateWaitConfig, StateWaitSendConfig, StateWaitConfigReqRsp,
+			StateWaitConfigRsp, StateWaitConfigReq, StateWaitIndFinalRsp,
+			StateWaitFinalRsp, StateWaitControlInd,
+		},
+		JobDisconnection: {StateWaitDisconnect},
+		JobMove:          {StateWaitMove, StateWaitMoveRsp, StateWaitMoveConfirm, StateWaitConfirmRsp},
+		JobOpen:          {StateOpen},
+	}
+
+	total := 0
+	for job, states := range want {
+		got := StatesOf(job)
+		if len(got) != len(states) {
+			t.Errorf("StatesOf(%v) = %v, want %v", job, got, states)
+			continue
+		}
+		gotSet := make(map[State]bool)
+		for _, s := range got {
+			gotSet[s] = true
+		}
+		for _, s := range states {
+			if !gotSet[s] {
+				t.Errorf("StatesOf(%v) missing %v", job, s)
+			}
+			if JobOf(s) != job {
+				t.Errorf("JobOf(%v) = %v, want %v", s, JobOf(s), job)
+			}
+		}
+		total += len(states)
+	}
+	if total != NumStates {
+		t.Errorf("jobs partition %d states, want %d", total, NumStates)
+	}
+	if len(AllJobs()) != NumJobs {
+		t.Errorf("AllJobs() has %d jobs, want %d", len(AllJobs()), NumJobs)
+	}
+}
+
+func TestValidCommandsMatchTableIII(t *testing.T) {
+	tests := []struct {
+		job  Job
+		want []l2cap.CommandCode
+	}{
+		{JobConnection, []l2cap.CommandCode{l2cap.CodeConnectionReq, l2cap.CodeConnectionRsp}},
+		{JobCreation, []l2cap.CommandCode{l2cap.CodeCreateChannelReq, l2cap.CodeCreateChannelRsp}},
+		{JobConfiguration, []l2cap.CommandCode{l2cap.CodeConfigurationReq, l2cap.CodeConfigurationRsp}},
+		{JobDisconnection, []l2cap.CommandCode{l2cap.CodeDisconnectionReq, l2cap.CodeDisconnectionRsp}},
+		{JobMove, []l2cap.CommandCode{
+			l2cap.CodeMoveChannelReq, l2cap.CodeMoveChannelRsp,
+			l2cap.CodeMoveChannelConfirmReq, l2cap.CodeMoveChannelConfirmRsp,
+		}},
+	}
+	for _, tt := range tests {
+		got := ValidCommands(tt.job)
+		if len(got) != len(tt.want) {
+			t.Errorf("ValidCommands(%v) = %v, want %v", tt.job, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("ValidCommands(%v)[%d] = %v, want %v", tt.job, i, got[i], tt.want[i])
+			}
+		}
+	}
+	// Closed and Open accept all commands.
+	for _, job := range []Job{JobClosed, JobOpen} {
+		if got := ValidCommands(job); len(got) != l2cap.NumCommandCodes {
+			t.Errorf("ValidCommands(%v) has %d commands, want all %d",
+				job, len(got), l2cap.NumCommandCodes)
+		}
+	}
+}
+
+func TestCommandValidInState(t *testing.T) {
+	tests := []struct {
+		code  l2cap.CommandCode
+		state State
+		want  bool
+	}{
+		{l2cap.CodeConnectionReq, StateWaitConnect, true},
+		{l2cap.CodeConfigurationReq, StateWaitConnect, false},
+		{l2cap.CodeConfigurationReq, StateWaitConfig, true},
+		{l2cap.CodeConfigurationRsp, StateWaitIndFinalRsp, true},
+		{l2cap.CodeMoveChannelConfirmReq, StateWaitMoveConfirm, true},
+		{l2cap.CodeMoveChannelConfirmReq, StateWaitConfig, false},
+		{l2cap.CodeEchoReq, StateClosed, true}, // all commands in Closed
+		{l2cap.CodeEchoReq, StateOpen, true},   // all commands in Open
+		{l2cap.CodeEchoReq, StateWaitConfig, false},
+		{l2cap.CodeDisconnectionReq, StateWaitDisconnect, true},
+	}
+	for _, tt := range tests {
+		if got := CommandValidInState(tt.code, tt.state); got != tt.want {
+			t.Errorf("CommandValidInState(%v, %v) = %v, want %v",
+				tt.code, tt.state, got, tt.want)
+		}
+	}
+}
+
+func TestResponderReachableStates(t *testing.T) {
+	reachable := ResponderReachableStates()
+	if len(reachable) != 13 {
+		t.Fatalf("len(ResponderReachableStates()) = %d, want 13 (paper Figure 10)", len(reachable))
+	}
+	unreachable := map[State]bool{
+		StateWaitConnectRsp: true, StateWaitCreateRsp: true,
+		StateWaitMoveRsp: true, StateWaitConfirmRsp: true,
+		StateWaitFinalRsp: true, StateWaitControlInd: true,
+	}
+	for _, s := range reachable {
+		if unreachable[s] {
+			t.Errorf("%v reported responder-reachable, want unreachable", s)
+		}
+	}
+}

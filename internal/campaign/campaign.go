@@ -1,0 +1,164 @@
+// Package campaign implements the long-term fuzzing the paper's §V
+// names as its first limitation: "when a fatal bug is triggered on the
+// target device, it forcibly shuts down Bluetooth. Therefore, the tester
+// must manually reset the device to perform another test. We will
+// consider overcoming this issue by leveraging a virtual environment."
+//
+// This reproduction *is* that virtual environment, so the campaign
+// runner closes the loop: it runs L2Fuzz repeatedly against one target,
+// automatically resets the device after every finding (the virtual
+// analogue of the manual reboot), de-duplicates findings by their
+// (state, port, error-class) signature, and keeps going until a run
+// budget or a dry streak ends the campaign.
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"l2fuzz/internal/bt/device"
+	"l2fuzz/internal/bt/host"
+	"l2fuzz/internal/bt/l2cap"
+	"l2fuzz/internal/bt/radio"
+	"l2fuzz/internal/bt/sm"
+	"l2fuzz/internal/core"
+)
+
+// Config parameterises a campaign.
+type Config struct {
+	// Seed drives the first run; later runs derive fresh seeds from it.
+	Seed int64
+	// MaxRuns bounds the number of fuzzing runs.
+	MaxRuns int
+	// MaxPacketsPerRun bounds each run.
+	MaxPacketsPerRun int
+	// StopAfterDryRuns ends the campaign after this many consecutive
+	// runs without a finding (the target has probably been exhausted).
+	StopAfterDryRuns int
+}
+
+// DefaultConfig returns campaign defaults: up to eight runs, stopping
+// after two consecutive dry ones.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:             seed,
+		MaxRuns:          8,
+		MaxPacketsPerRun: 250_000,
+		StopAfterDryRuns: 2,
+	}
+}
+
+// FindingRecord is one de-duplicated finding with its occurrence count.
+type FindingRecord struct {
+	// Finding is the first occurrence.
+	Finding core.Finding
+	// Count is how many runs reproduced it.
+	Count int
+	// Dump is the device-side artefact of the first occurrence.
+	Dump string
+}
+
+// signature keys de-duplication.
+type signature struct {
+	state sm.State
+	psm   l2cap.PSM
+	class core.ErrorClass
+}
+
+// Report is the campaign outcome.
+type Report struct {
+	// Runs counts completed fuzzing runs.
+	Runs int
+	// Resets counts automatic device resets performed.
+	Resets int
+	// TotalPackets sums packets across runs.
+	TotalPackets int
+	// TotalElapsed sums simulated run time.
+	TotalElapsed time.Duration
+	// Findings are the de-duplicated findings in first-seen order.
+	Findings []FindingRecord
+}
+
+// Runner drives a campaign against one device.
+type Runner struct {
+	cl  *host.Client
+	dev *device.Device
+	cfg Config
+}
+
+// New builds a runner. The device must live on the same medium as the
+// client.
+func New(cl *host.Client, dev *device.Device, cfg Config) *Runner {
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = 8
+	}
+	if cfg.MaxPacketsPerRun <= 0 {
+		cfg.MaxPacketsPerRun = 250_000
+	}
+	if cfg.StopAfterDryRuns <= 0 {
+		cfg.StopAfterDryRuns = 2
+	}
+	return &Runner{cl: cl, dev: dev, cfg: cfg}
+}
+
+// Run executes the campaign.
+func (r *Runner) Run() (*Report, error) {
+	report := &Report{}
+	seen := make(map[signature]int) // signature → index into Findings
+	dry := 0
+
+	for run := 0; run < r.cfg.MaxRuns && dry < r.cfg.StopAfterDryRuns; run++ {
+		fcfg := core.DefaultConfig(r.cfg.Seed + int64(run)*7919)
+		fcfg.MaxPackets = r.cfg.MaxPacketsPerRun
+		fz := core.New(r.cl, fcfg)
+		res, err := fz.Run(r.dev.Address())
+		if err != nil {
+			return nil, fmt.Errorf("campaign run %d: %w", run+1, err)
+		}
+		report.Runs++
+		report.TotalPackets += res.PacketsSent
+		report.TotalElapsed += res.Elapsed
+
+		if !res.Found {
+			dry++
+			continue
+		}
+		dry = 0
+		sig := signature{state: res.Finding.State, psm: res.Finding.PSM, class: res.Finding.Error}
+		if idx, ok := seen[sig]; ok {
+			report.Findings[idx].Count++
+		} else {
+			rec := FindingRecord{Finding: res.Finding, Count: 1}
+			if dump := r.dev.CrashDump(); dump != nil {
+				rec.Dump = dump.Render()
+			}
+			seen[sig] = len(report.Findings)
+			report.Findings = append(report.Findings, rec)
+		}
+
+		// The automatic reset: the virtual analogue of walking over and
+		// rebooting the phone.
+		if err := r.reset(); err != nil {
+			return nil, fmt.Errorf("campaign reset after run %d: %w", run+1, err)
+		}
+		report.Resets++
+	}
+	return report, nil
+}
+
+// reset restores a crashed device and the tester's link state.
+func (r *Runner) reset() error {
+	wasGone := r.dev.PoweredOff()
+	r.dev.Reset()
+	if wasGone {
+		if err := r.medium().Register(r.dev.Controller()); err != nil {
+			return fmt.Errorf("re-register: %w", err)
+		}
+	}
+	r.cl.Disconnect(r.dev.Address())
+	return nil
+}
+
+// medium digs the medium out via the client's clock owner. The client
+// and device share one medium by construction; the controller knows it.
+func (r *Runner) medium() *radio.Medium { return r.dev.Medium() }

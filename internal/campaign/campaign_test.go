@@ -1,0 +1,112 @@
+package campaign
+
+import (
+	"testing"
+
+	"l2fuzz/internal/bt/device"
+	"l2fuzz/internal/bt/host"
+	"l2fuzz/internal/bt/radio"
+	"l2fuzz/internal/bt/sm"
+)
+
+func campaignRig(t *testing.T, deviceID string) (*device.Device, *host.Client) {
+	t.Helper()
+	m := radio.NewMedium(nil, radio.DefaultTiming())
+	entry, err := device.CatalogEntryByID(deviceID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := device.New(m, entry.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := host.NewClient(m, radio.MustBDAddr("00:1B:DC:00:00:05"), "campaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, cl
+}
+
+func TestCampaignFindsAndReproducesD2(t *testing.T) {
+	d, cl := campaignRig(t, "D2")
+	cfg := DefaultConfig(1)
+	cfg.MaxRuns = 4
+	report, err := New(cl, d, cfg).Run()
+	if err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	if report.Runs == 0 || len(report.Findings) == 0 {
+		t.Fatalf("campaign found nothing: %+v", report)
+	}
+	if report.Resets == 0 {
+		t.Error("no automatic resets performed")
+	}
+	total := 0
+	for _, f := range report.Findings {
+		total += f.Count
+		if sm.JobOf(f.Finding.State) != sm.JobConfiguration {
+			t.Errorf("finding in %v, want configuration-job states only on D2", f.Finding.State)
+		}
+		if f.Dump == "" {
+			t.Error("finding recorded without its crash dump")
+		}
+	}
+	if total != report.Resets {
+		t.Errorf("finding occurrences (%d) != resets (%d)", total, report.Resets)
+	}
+	// A black-box signature is (state, port, error class): one underlying
+	// defect may appear under several signatures (different ports reach
+	// the same code), but never more than runs.
+	if len(report.Findings) > report.Runs {
+		t.Errorf("%d signatures from %d runs; de-duplication broken?", len(report.Findings), report.Runs)
+	}
+	// The device must be healthy at campaign end only if the final run
+	// was dry; either way the report is self-consistent.
+	if report.TotalPackets == 0 || report.TotalElapsed == 0 {
+		t.Error("aggregates not recorded")
+	}
+	t.Logf("campaign: %d runs, %d resets, %d distinct findings (%d total), %d packets, %v",
+		report.Runs, report.Resets, len(report.Findings), total,
+		report.TotalPackets, report.TotalElapsed)
+}
+
+func TestCampaignSurvivesFirmwareCrashingDevice(t *testing.T) {
+	// D5 vanishes from the air on each finding; the campaign must
+	// re-register it and keep going.
+	d, cl := campaignRig(t, "D5")
+	cfg := DefaultConfig(2)
+	cfg.MaxRuns = 3
+	report, err := New(cl, d, cfg).Run()
+	if err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	if len(report.Findings) == 0 {
+		t.Fatal("campaign found nothing on D5")
+	}
+	total := 0
+	for _, f := range report.Findings {
+		total += f.Count
+	}
+	if total < 2 {
+		t.Errorf("defect triggered %d times across %d runs, want ≥ 2 (auto-reset works)",
+			total, report.Runs)
+	}
+}
+
+func TestCampaignStopsOnDryStreak(t *testing.T) {
+	d, cl := campaignRig(t, "D4") // robust iPhone
+	cfg := DefaultConfig(3)
+	cfg.MaxRuns = 8
+	cfg.MaxPacketsPerRun = 10_000
+	cfg.StopAfterDryRuns = 2
+	report, err := New(cl, d, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Runs != 2 {
+		t.Fatalf("runs = %d, want exactly the dry streak of 2", report.Runs)
+	}
+	if len(report.Findings) != 0 || report.Resets != 0 {
+		t.Fatalf("phantom activity on robust device: %+v", report)
+	}
+}

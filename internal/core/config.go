@@ -1,0 +1,89 @@
+package core
+
+import (
+	"io"
+	"time"
+)
+
+// Config parameterises an L2Fuzz run. The zero value is not usable;
+// call DefaultConfig and adjust.
+type Config struct {
+	// Seed drives every random choice; equal seeds give equal runs.
+	Seed int64
+	// PacketsPerCommand is n in Algorithm 1: malformed packets generated
+	// per valid command per state visit.
+	PacketsPerCommand int
+	// MaxGarbage bounds the appended garbage tail, keeping test packets
+	// under the signaling MTU.
+	MaxGarbage int
+	// ThinkTime is the fuzzer-side processing cost charged to the
+	// simulated clock per generated packet; together with the radio
+	// timing it sets the packets-per-second rate (§IV-C reports 524.27
+	// pps for L2Fuzz).
+	ThinkTime time.Duration
+	// PingEvery runs the echo liveness probe after every PingEvery test
+	// packets (and always after a send error).
+	PingEvery int
+	// MaxPackets caps the run; zero means DefaultMaxPackets. The run also
+	// ends when a vulnerability is detected.
+	MaxPackets int
+	// LogWriter receives the run log; nil discards it.
+	LogWriter io.Writer
+
+	// MutateAllFields widens mutation beyond MC for the ablation study:
+	// dependent fields and MA fields are scrambled too, reproducing the
+	// dumb-mutation strategy the paper argues against.
+	MutateAllFields bool
+	// NoStateGuiding disables job-valid command selection for the
+	// ablation study: commands are drawn uniformly from all 26 codes in
+	// every state.
+	NoStateGuiding bool
+	// NoGarbage suppresses the garbage tail for the ablation study.
+	NoGarbage bool
+}
+
+// Defaults chosen to land the simulated pps near the paper's measurement.
+const (
+	// DefaultPacketsPerCommand is the per-command fuzz depth.
+	DefaultPacketsPerCommand = 64
+	// DefaultMaxGarbage is the garbage-tail bound.
+	DefaultMaxGarbage = 16
+	// DefaultThinkTime approximates L2Fuzz's per-packet processing cost.
+	DefaultThinkTime = 450 * time.Microsecond
+	// DefaultPingEvery is the liveness-probe cadence.
+	DefaultPingEvery = 3
+	// DefaultMaxPackets bounds a run that finds nothing.
+	DefaultMaxPackets = 6_000_000
+)
+
+// DefaultConfig returns the paper-shaped configuration for a seed.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:              seed,
+		PacketsPerCommand: DefaultPacketsPerCommand,
+		MaxGarbage:        DefaultMaxGarbage,
+		ThinkTime:         DefaultThinkTime,
+		PingEvery:         DefaultPingEvery,
+		MaxPackets:        DefaultMaxPackets,
+	}
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.PacketsPerCommand <= 0 {
+		c.PacketsPerCommand = DefaultPacketsPerCommand
+	}
+	if c.MaxGarbage <= 0 {
+		c.MaxGarbage = DefaultMaxGarbage
+	}
+	if c.ThinkTime <= 0 {
+		c.ThinkTime = DefaultThinkTime
+	}
+	if c.PingEvery <= 0 {
+		c.PingEvery = DefaultPingEvery
+	}
+	if c.MaxPackets <= 0 {
+		c.MaxPackets = DefaultMaxPackets
+	}
+	return c
+}

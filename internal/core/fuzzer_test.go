@@ -1,0 +1,275 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"l2fuzz/internal/bt/device"
+	"l2fuzz/internal/bt/host"
+	"l2fuzz/internal/bt/l2cap"
+	"l2fuzz/internal/bt/radio"
+	"l2fuzz/internal/bt/sm"
+)
+
+// rig builds a medium holding one catalog device and a tester client.
+func rig(t *testing.T, id string, disableVulns bool) (*device.Device, *host.Client) {
+	t.Helper()
+	m := radio.NewMedium(nil, radio.DefaultTiming())
+	entry, err := device.CatalogEntryByID(id, disableVulns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := device.New(m, entry.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := host.NewClient(m, radio.MustBDAddr("00:1B:DC:00:00:01"), "l2fuzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, cl
+}
+
+func TestScanCollectsMetaAndPorts(t *testing.T) {
+	d, cl := rig(t, "D2", true)
+	report, err := Scan(cl, d.Address())
+	if err != nil {
+		t.Fatalf("Scan() error = %v", err)
+	}
+	if report.Meta.Addr != d.Address() {
+		t.Errorf("Meta.Addr = %v, want %v", report.Meta.Addr, d.Address())
+	}
+	if report.Meta.Name != "Pixel 3" {
+		t.Errorf("Meta.Name = %q", report.Meta.Name)
+	}
+	if report.Meta.OUI != [3]byte{0xF8, 0x8F, 0xCA} {
+		t.Errorf("Meta.OUI = %X", report.Meta.OUI)
+	}
+	if len(report.Ports) != len(d.Ports()) {
+		t.Errorf("scanned %d ports, device has %d", len(report.Ports), len(d.Ports()))
+	}
+	if len(report.ExploitablePSMs) == 0 {
+		t.Fatal("no exploitable ports found")
+	}
+	// Pairing-gated ports must be excluded.
+	for _, psm := range report.ExploitablePSMs {
+		for _, p := range d.Ports() {
+			if p.PSM == psm && p.RequiresPairing {
+				t.Errorf("pairing-gated port %v marked exploitable", psm)
+			}
+		}
+	}
+}
+
+func TestScanUnknownTarget(t *testing.T) {
+	_, cl := rig(t, "D2", true)
+	if _, err := Scan(cl, radio.MustBDAddr("00:00:00:00:00:99")); err == nil {
+		t.Fatal("Scan(unknown) succeeded")
+	}
+}
+
+func TestScanFallsBackToSDPWhenAllPortsPaired(t *testing.T) {
+	m := radio.NewMedium(nil, radio.DefaultTiming())
+	cfg := device.Config{
+		Addr:    radio.MustBDAddr("F8:8F:CA:00:00:77"),
+		Name:    "all-paired",
+		Profile: device.WindowsProfile("5.0"),
+		Ports: []device.ServicePort{
+			{PSM: l2cap.PSMRFCOMM, Name: "RFCOMM", RequiresPairing: true},
+			{PSM: l2cap.PSMHIDControl, Name: "HID", RequiresPairing: true},
+		},
+	}
+	d, err := device.New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := host.NewClient(m, radio.MustBDAddr("00:1B:DC:00:00:01"), "l2fuzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Scan(cl, d.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SDP itself is always exploitable; it is also the fallback if the
+	// advertised set were fully gated.
+	foundSDP := false
+	for _, psm := range report.ExploitablePSMs {
+		if psm == l2cap.PSMSDP {
+			foundSDP = true
+		}
+	}
+	if !foundSDP {
+		t.Fatalf("ExploitablePSMs = %v, want SDP included", report.ExploitablePSMs)
+	}
+}
+
+func TestFuzzerDetectsPixel3DoS(t *testing.T) {
+	d, cl := rig(t, "D2", false)
+	cfg := DefaultConfig(1)
+	f := New(cl, cfg)
+	report, err := f.Run(d.Address())
+	if err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	if !report.Found {
+		t.Fatalf("no vulnerability found in %d packets", report.PacketsSent)
+	}
+	if report.Finding.Error != ErrConnectionFailed {
+		t.Errorf("error class = %v, want Connection Failed (DoS)", report.Finding.Error)
+	}
+	if report.Finding.Severity() != "DoS" {
+		t.Errorf("severity = %q, want DoS", report.Finding.Severity())
+	}
+	if sm.JobOf(report.Finding.State) != sm.JobConfiguration {
+		t.Errorf("finding state = %v, want a configuration-job state", report.Finding.State)
+	}
+	// Ground truth agrees.
+	if !d.ServiceDown() {
+		t.Error("device not actually DoS-ed")
+	}
+	if d.CrashDump() == nil || d.CrashDump().Kind != device.DumpTombstone {
+		t.Error("no tombstone on the device")
+	}
+	if report.Elapsed <= 0 {
+		t.Error("elapsed time not recorded")
+	}
+	t.Logf("D2 detected in %v after %d packets (%.0f pps)",
+		report.Elapsed, report.PacketsSent,
+		float64(report.PacketsSent)/report.Elapsed.Seconds())
+}
+
+func TestFuzzerDetectsAirPodsCrash(t *testing.T) {
+	d, cl := rig(t, "D5", false)
+	f := New(cl, DefaultConfig(2))
+	report, err := f.Run(d.Address())
+	if err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	if !report.Found {
+		t.Fatalf("no vulnerability found in %d packets", report.PacketsSent)
+	}
+	if report.Finding.Error != ErrConnectionReset {
+		t.Errorf("error class = %v, want Connection Reset", report.Finding.Error)
+	}
+	if report.Finding.Severity() != "Crash" {
+		t.Errorf("severity = %q, want Crash", report.Finding.Severity())
+	}
+	if !d.PoweredOff() {
+		t.Error("device not actually powered off")
+	}
+	t.Logf("D5 detected in %v after %d packets", report.Elapsed, report.PacketsSent)
+}
+
+func TestFuzzerFindsNothingOnRobustDevice(t *testing.T) {
+	d, cl := rig(t, "D4", false) // iPhone: no injected defects
+	cfg := DefaultConfig(3)
+	cfg.MaxPackets = 30_000 // keep the test quick
+	f := New(cl, cfg)
+	report, err := f.Run(d.Address())
+	if err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	if report.Found {
+		t.Fatalf("found a vulnerability on the robust device: %+v", report.Finding)
+	}
+	if d.Crashed() {
+		t.Error("robust device crashed")
+	}
+	if report.PacketsSent < 30_000 {
+		t.Errorf("budget not exhausted: %d packets", report.PacketsSent)
+	}
+}
+
+func TestFuzzerStateCoverageIsThirteen(t *testing.T) {
+	// With vulnerabilities disabled the fuzzer completes cycles; its
+	// tested-state set must be exactly the 13 master-reachable states
+	// (paper Figure 10).
+	d, cl := rig(t, "D2", true)
+	cfg := DefaultConfig(4)
+	cfg.MaxPackets = 120_000
+	f := New(cl, cfg)
+	report, err := f.Run(d.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(report.StatesTested); got != 13 {
+		t.Fatalf("states tested = %d (%v), want 13", got, report.StatesTested)
+	}
+	for _, s := range report.StatesTested {
+		if !s.ResponderReachable() {
+			t.Errorf("tested %v, which should be master-unreachable", s)
+		}
+	}
+}
+
+func TestFuzzerDeterministicForSeed(t *testing.T) {
+	run := func() *Report {
+		d, cl := rig(t, "D2", false)
+		f := New(cl, DefaultConfig(99))
+		r, err := f.Run(d.Address())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.PacketsSent != b.PacketsSent || a.Elapsed != b.Elapsed ||
+		a.Finding.State != b.Finding.State || a.Finding.PSM != b.Finding.PSM {
+		t.Fatalf("same seed, different runs:\n a=%+v\n b=%+v", a, b)
+	}
+}
+
+func TestFuzzerMalformedShareIsHigh(t *testing.T) {
+	// Core field mutating should make the malformed share of traffic
+	// high — the paper reports ~70% on the full run.
+	d, cl := rig(t, "D2", true)
+	cfg := DefaultConfig(5)
+	cfg.MaxPackets = 50_000
+	f := New(cl, cfg)
+	report, err := f.Run(d.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := float64(report.MalformedSent) / float64(report.PacketsSent)
+	if share < 0.5 {
+		t.Errorf("malformed share = %.2f, want > 0.5", share)
+	}
+	t.Logf("malformed share: %.2f%%", 100*share)
+}
+
+func TestNoGarbageAblationPreventsD2Crash(t *testing.T) {
+	// The BlueDroid defect needs the garbage tail: without it the fuzzer
+	// must not find anything.
+	d, cl := rig(t, "D2", false)
+	cfg := DefaultConfig(6)
+	cfg.NoGarbage = true
+	cfg.MaxPackets = 60_000
+	f := New(cl, cfg)
+	report, err := f.Run(d.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Found {
+		t.Fatalf("found %+v despite NoGarbage ablation", report.Finding)
+	}
+	if d.Crashed() {
+		t.Error("device crashed without garbage tails")
+	}
+}
+
+func TestThinkTimePacing(t *testing.T) {
+	d, cl := rig(t, "D4", false)
+	cfg := DefaultConfig(7)
+	cfg.MaxPackets = 5_000
+	cfg.ThinkTime = 10 * time.Millisecond
+	f := New(cl, cfg)
+	report, err := f.Run(d.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pps := float64(report.PacketsSent) / report.Elapsed.Seconds()
+	if pps > 130 {
+		t.Errorf("pps = %.1f with 10ms think time, want < 130 (echo probes are unpaced)", pps)
+	}
+}

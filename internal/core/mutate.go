@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"l2fuzz/internal/bt/l2cap"
+)
+
+// Mutator implements core field mutating (paper §III-D, Algorithm 1).
+// It is deterministic for a given source.
+type Mutator struct {
+	rng *rand.Rand
+	// maxGarbage bounds the appended tail so the packet stays under the
+	// signaling MTU ("Signaling MTU exceeded" is avoided by construction).
+	maxGarbage int
+}
+
+// NewMutator builds a mutator over the given RNG.
+func NewMutator(rng *rand.Rand, maxGarbage int) *Mutator {
+	if maxGarbage < 0 {
+		maxGarbage = 0
+	}
+	return &Mutator{rng: rng, maxGarbage: maxGarbage}
+}
+
+// Mutation describes what a generated packet had mutated: the ground
+// truth the metrics layer uses to classify malformed traffic.
+type Mutation struct {
+	// Code is the command the packet carries.
+	Code l2cap.CommandCode
+	// PSMMutated reports an abnormal-range PSM substitution.
+	PSMMutated bool
+	// PSM is the substituted value when PSMMutated.
+	PSM l2cap.PSM
+	// CIDsMutated counts payload channel IDs overwritten.
+	CIDsMutated int
+	// ControllerIDMutated reports a CONT_ID substitution.
+	ControllerIDMutated bool
+	// GarbageLen is the appended tail length.
+	GarbageLen int
+}
+
+// IsMalformed reports whether the packet differs from a well-formed
+// default: any core-field substitution or a non-empty tail.
+func (m Mutation) IsMalformed() bool {
+	return m.PSMMutated || m.CIDsMutated > 0 || m.ControllerIDMutated || m.GarbageLen > 0
+}
+
+// String summarises the mutation for logs.
+func (m Mutation) String() string {
+	return fmt.Sprintf("%v psm=%v cids=%d cont=%v garbage=%dB",
+		m.Code, m.PSMMutated, m.CIDsMutated, m.ControllerIDMutated, m.GarbageLen)
+}
+
+// AbnormalPSM samples the malicious PSM domain of Table IV: half the
+// draws come from the seven odd-MSB bands, half are arbitrary even
+// values.
+func (mu *Mutator) AbnormalPSM() l2cap.PSM {
+	if mu.rng.Intn(2) == 0 {
+		bands := l2cap.AbnormalPSMRanges()
+		b := bands[mu.rng.Intn(len(bands))]
+		return b.Lo + l2cap.PSM(mu.rng.Intn(int(b.Hi-b.Lo)+1))
+	}
+	return l2cap.PSM(mu.rng.Intn(0x8000) * 2) // any even value
+}
+
+// NormalCIDP samples the normal dynamic CID range [0x0040, 0xFFFF],
+// deliberately ignoring what the target actually allocated.
+func (mu *Mutator) NormalCIDP() l2cap.CID {
+	lo, hi := l2cap.CIDPRange()
+	return lo + l2cap.CID(mu.rng.Intn(int(hi-lo)+1))
+}
+
+// Garbage produces the tail: length uniform in [0, maxGarbage], bytes
+// uniform.
+func (mu *Mutator) Garbage() []byte {
+	n := mu.rng.Intn(mu.maxGarbage + 1)
+	if n == 0 {
+		return nil
+	}
+	tail := make([]byte, n)
+	for i := range tail {
+		tail[i] = byte(mu.rng.Intn(256))
+	}
+	return tail
+}
+
+// Mutate implements Algorithm 1 for one command code: build the default
+// command (D and MA fields at their defaults), overwrite the mutable-core
+// fields, and append garbage. The identifier is supplied by the caller so
+// the packet stream stays protocol-plausible.
+func (mu *Mutator) Mutate(id uint8, code l2cap.CommandCode) (l2cap.Packet, Mutation, error) {
+	cmd, err := l2cap.DefaultCommand(code)
+	if err != nil {
+		return l2cap.Packet{}, Mutation{}, fmt.Errorf("mutate: %w", err)
+	}
+	info := Mutation{Code: code}
+
+	core := cmd.CoreFields()
+	if core.PSM != nil {
+		*core.PSM = mu.AbnormalPSM()
+		info.PSMMutated = true
+		info.PSM = *core.PSM
+	}
+	for _, cid := range core.CIDs {
+		*cid = mu.NormalCIDP()
+		info.CIDsMutated++
+	}
+	for _, cont := range core.ControllerIDs {
+		// Controllers 0-3; non-zero values name AMP controllers the
+		// target does not have.
+		*cont = uint8(mu.rng.Intn(4))
+		info.ControllerIDMutated = true
+	}
+
+	tail := mu.Garbage()
+	info.GarbageLen = len(tail)
+	return l2cap.SignalPacket(id, cmd, tail), info, nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"l2fuzz/internal/bt/l2cap"
+)
+
+func testMutator(seed int64) *Mutator {
+	return NewMutator(rand.New(rand.NewSource(seed)), DefaultMaxGarbage)
+}
+
+func TestAbnormalPSMAlwaysAbnormal(t *testing.T) {
+	mu := testMutator(1)
+	for i := 0; i < 5000; i++ {
+		p := mu.AbnormalPSM()
+		if !l2cap.IsAbnormalPSM(p) {
+			t.Fatalf("AbnormalPSM() = %04X, which is not abnormal per Table IV", uint16(p))
+		}
+	}
+}
+
+func TestNormalCIDPInRange(t *testing.T) {
+	mu := testMutator(2)
+	lo, hi := l2cap.CIDPRange()
+	for i := 0; i < 5000; i++ {
+		c := mu.NormalCIDP()
+		if c < lo || c > hi {
+			t.Fatalf("NormalCIDP() = %v outside [%v, %v]", c, lo, hi)
+		}
+	}
+}
+
+func TestGarbageBounded(t *testing.T) {
+	mu := NewMutator(rand.New(rand.NewSource(3)), 16)
+	sawNonEmpty := false
+	for i := 0; i < 1000; i++ {
+		g := mu.Garbage()
+		if len(g) > 16 {
+			t.Fatalf("garbage %d bytes exceeds bound", len(g))
+		}
+		if len(g) > 0 {
+			sawNonEmpty = true
+		}
+	}
+	if !sawNonEmpty {
+		t.Fatal("garbage never non-empty")
+	}
+}
+
+func TestMutateKeepsDependentAndFixedFields(t *testing.T) {
+	mu := testMutator(4)
+	for _, code := range l2cap.AllCommandCodes() {
+		pkt, _, err := mu.Mutate(7, code)
+		if err != nil {
+			t.Fatalf("Mutate(%v) error = %v", code, err)
+		}
+		// F: header channel ID stays the signaling channel.
+		if pkt.ChannelID != l2cap.CIDSignaling {
+			t.Errorf("%v: header CID = %v, want signaling (fixed field)", code, pkt.ChannelID)
+		}
+		// D: declared lengths describe the command without the tail, so
+		// the frame still parses.
+		frames, err := l2cap.ParseSignals(pkt.Payload)
+		if err != nil {
+			t.Fatalf("%v: mutated packet does not parse: %v", code, err)
+		}
+		if frames[0].Code != code {
+			t.Errorf("%v: code field changed to %v", code, frames[0].Code)
+		}
+		if frames[0].Identifier != 7 {
+			t.Errorf("%v: identifier changed", code)
+		}
+		if _, err := l2cap.DecodeCommand(frames[0]); err != nil {
+			t.Errorf("%v: mutated command undecodable: %v", code, err)
+		}
+	}
+}
+
+func TestMutatePSMIsAbnormalAndCIDsNormal(t *testing.T) {
+	mu := testMutator(5)
+	for i := 0; i < 500; i++ {
+		pkt, info, err := mu.Mutate(1, l2cap.CodeConnectionReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.PSMMutated || info.CIDsMutated != 1 {
+			t.Fatalf("mutation info = %+v, want PSM + 1 CID", info)
+		}
+		frames, _ := l2cap.ParseSignals(pkt.Payload)
+		cmd, _ := l2cap.DecodeCommand(frames[0])
+		req := cmd.(*l2cap.ConnectionReq)
+		if !l2cap.IsAbnormalPSM(req.PSM) {
+			t.Fatalf("PSM %04X not abnormal", uint16(req.PSM))
+		}
+		if !req.SCID.IsDynamic() {
+			t.Fatalf("SCID %v outside normal dynamic range", req.SCID)
+		}
+	}
+}
+
+func TestMutationMalformedness(t *testing.T) {
+	// Commands with MC fields are always malformed; commands without MC
+	// fields are malformed only via the garbage tail.
+	mu := NewMutator(rand.New(rand.NewSource(6)), 0) // no garbage
+	for _, tt := range []struct {
+		code l2cap.CommandCode
+		want bool
+	}{
+		{l2cap.CodeConnectionReq, true},
+		{l2cap.CodeConfigurationReq, true},
+		{l2cap.CodeEchoReq, false},
+		{l2cap.CodeInformationReq, false},
+		{l2cap.CodeConnParamUpdateRsp, false},
+	} {
+		_, info, err := mu.Mutate(1, tt.code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.IsMalformed() != tt.want {
+			t.Errorf("%v: IsMalformed = %v, want %v", tt.code, info.IsMalformed(), tt.want)
+		}
+	}
+}
+
+func TestMutateDeterministicForSeed(t *testing.T) {
+	a, b := testMutator(42), testMutator(42)
+	for i := 0; i < 200; i++ {
+		pa, _, _ := a.Mutate(uint8(i%250+1), l2cap.CodeConnectionReq)
+		pb, _, _ := b.Mutate(uint8(i%250+1), l2cap.CodeConnectionReq)
+		if string(pa.Marshal()) != string(pb.Marshal()) {
+			t.Fatal("same seed produced different packets")
+		}
+	}
+}
+
+func TestMutateUnknownCode(t *testing.T) {
+	if _, _, err := testMutator(1).Mutate(1, 0x7F); err == nil {
+		t.Fatal("Mutate(unknown code) succeeded")
+	}
+}
+
+// Property: mutated packets never exceed the signaling MTU (garbage is
+// bounded), so "Signaling MTU exceeded" rejects are avoided by design.
+func TestQuickMutatedPacketsUnderSignalingMTU(t *testing.T) {
+	mu := testMutator(7)
+	codes := l2cap.AllCommandCodes()
+	f := func(pick uint8, id uint8) bool {
+		code := codes[int(pick)%len(codes)]
+		if id == 0 {
+			id = 1
+		}
+		pkt, _, err := mu.Mutate(id, code)
+		if err != nil {
+			return false
+		}
+		return len(pkt.Payload) <= l2cap.DefaultSignalingMTU
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"l2fuzz/internal/bt/host"
+	"l2fuzz/internal/bt/l2cap"
+	"l2fuzz/internal/bt/radio"
+)
+
+// TargetMeta is the device metadata collected by target scanning.
+type TargetMeta struct {
+	// Addr is the target's MAC address (BD_ADDR).
+	Addr radio.BDAddr
+	// OUI is the organizationally unique identifier prefix.
+	OUI [3]byte
+	// Name is the friendly device name.
+	Name string
+	// ClassOfDevice is the 24-bit class-of-device code.
+	ClassOfDevice uint32
+}
+
+// PortStatus is the probe result for one advertised service port.
+type PortStatus struct {
+	// PSM is the port.
+	PSM l2cap.PSM
+	// Name is the SDP-published service name.
+	Name string
+	// RequiresPairing reports a security-blocked connection attempt.
+	RequiresPairing bool
+	// Refused reports any other refusal.
+	Refused bool
+}
+
+// Exploitable reports whether the port can be fuzzed without pairing.
+func (p PortStatus) Exploitable() bool { return !p.RequiresPairing && !p.Refused }
+
+// ScanReport is the outcome of the target-scanning phase.
+type ScanReport struct {
+	// Meta is the target's metadata.
+	Meta TargetMeta
+	// Ports are the probed service ports, in SDP order.
+	Ports []PortStatus
+	// ExploitablePSMs are the pairing-free ports to fuzz; the SDP port is
+	// the guaranteed fallback when every advertised service needs pairing.
+	ExploitablePSMs []l2cap.PSM
+}
+
+// ErrTargetNotFound indicates the inquiry did not discover the target.
+var ErrTargetNotFound = errors.New("core: target not found in inquiry")
+
+// Scan runs the target-scanning phase against the device at addr.
+func Scan(cl *host.Client, addr radio.BDAddr) (ScanReport, error) {
+	var report ScanReport
+
+	// Inquiry: MAC address, name, class, OUI.
+	found := false
+	for _, r := range cl.Inquiry() {
+		if r.Addr == addr {
+			report.Meta = TargetMeta{
+				Addr:          r.Addr,
+				OUI:           r.Addr.OUI(),
+				Name:          r.Name,
+				ClassOfDevice: r.ClassOfDevice,
+			}
+			found = true
+		}
+	}
+	if !found {
+		return ScanReport{}, fmt.Errorf("%w: %v", ErrTargetNotFound, addr)
+	}
+
+	if err := cl.Connect(addr); err != nil {
+		return ScanReport{}, fmt.Errorf("scan connect: %w", err)
+	}
+
+	// SDP enumeration of advertised services.
+	services, err := cl.QuerySDP(addr)
+	if err != nil {
+		return ScanReport{}, fmt.Errorf("scan SDP: %w", err)
+	}
+
+	// Probe each advertised port for pairing requirements.
+	for _, s := range services {
+		status := PortStatus{PSM: s.PSM, Name: s.Name}
+		res, err := cl.TryOpenChannel(addr, s.PSM)
+		switch {
+		case err != nil:
+			status.Refused = true
+		case res.Result == l2cap.ConnResultSuccess:
+			// Probe channel opened; tear it down so the target is clean.
+			_ = cl.CloseChannel(addr, res.LocalCID, res.RemoteCID)
+		case res.Result == l2cap.ConnResultSecurityBlock:
+			status.RequiresPairing = true
+		default:
+			status.Refused = true
+		}
+		report.Ports = append(report.Ports, status)
+	}
+
+	for _, p := range report.Ports {
+		if p.Exploitable() {
+			report.ExploitablePSMs = append(report.ExploitablePSMs, p.PSM)
+		}
+	}
+	if len(report.ExploitablePSMs) == 0 {
+		// Every advertised port needs pairing: fall back to SDP, which is
+		// supported by every Bluetooth device and never requires pairing.
+		report.ExploitablePSMs = []l2cap.PSM{l2cap.PSMSDP}
+	}
+	return report, nil
+}

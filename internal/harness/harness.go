@@ -1,0 +1,136 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section (§IV) from the simulation:
+//
+//	Table V    — the eight-device testbed inventory
+//	Table VI   — vulnerability detection per device with elapsed time
+//	Table VII  — MP ratio, PR ratio and mutation efficiency per fuzzer
+//	Figure 8   — cumulative malformed packets vs transmitted packets
+//	Figure 9   — cumulative rejection packets vs received packets
+//	Figure 10  — L2CAP state coverage per fuzzer
+//	Figure 11  — which states each fuzzer covers on the state machine
+//
+// Every experiment is deterministic for a given seed. The comparison
+// experiments (Table VII, Figures 8-11) run each fuzzer against a fresh
+// measurement-grade Pixel 3 (device D2 with defects disabled, as the
+// paper's 100,000-packet measurement requires the target to survive),
+// with a trace sniffer standing in for Wireshark.
+package harness
+
+import (
+	"fmt"
+
+	"l2fuzz/internal/bt/device"
+	"l2fuzz/internal/bt/host"
+	"l2fuzz/internal/bt/radio"
+	"l2fuzz/internal/core"
+	"l2fuzz/internal/fuzzers"
+	"l2fuzz/internal/fuzzers/bfuzz"
+	"l2fuzz/internal/fuzzers/bss"
+	"l2fuzz/internal/fuzzers/defensics"
+	"l2fuzz/internal/metrics"
+)
+
+// testerAddr is the tester machine's dongle address.
+var testerAddr = radio.MustBDAddr("00:1B:DC:F0:00:01")
+
+// FuzzerName enumerates the compared fuzzers.
+type FuzzerName string
+
+// The four compared fuzzers.
+const (
+	NameL2Fuzz    FuzzerName = "L2Fuzz"
+	NameDefensics FuzzerName = "Defensics"
+	NameBFuzz     FuzzerName = "BFuzz"
+	NameBSS       FuzzerName = "BSS"
+)
+
+// AllFuzzerNames returns the comparison order used in the paper's tables.
+func AllFuzzerNames() []FuzzerName {
+	return []FuzzerName{NameL2Fuzz, NameDefensics, NameBFuzz, NameBSS}
+}
+
+// Rig is one measurement setup: a fresh medium, a target device, a tester
+// client and a sniffer.
+type Rig struct {
+	Medium  *radio.Medium
+	Device  *device.Device
+	Client  *host.Client
+	Sniffer *metrics.Sniffer
+}
+
+// NewRig builds a rig for the given catalog device.
+func NewRig(deviceID string, disableVulns bool) (*Rig, error) {
+	entry, err := device.CatalogEntryByID(deviceID, disableVulns)
+	if err != nil {
+		return nil, err
+	}
+	m := radio.NewMedium(nil, radio.DefaultTiming())
+	dev, err := device.New(m, entry.Config)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	cl, err := host.NewClient(m, testerAddr, "test-machine")
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	return &Rig{
+		Medium:  m,
+		Device:  dev,
+		Client:  cl,
+		Sniffer: metrics.NewSniffer(m, testerAddr),
+	}, nil
+}
+
+// l2fuzzAdapter gives the core fuzzer the baseline interface.
+type l2fuzzAdapter struct {
+	f *core.Fuzzer
+}
+
+func (a l2fuzzAdapter) Name() string { return string(NameL2Fuzz) }
+
+func (a l2fuzzAdapter) Run(target radio.BDAddr, maxPackets int) (fuzzers.Result, error) {
+	report, err := a.f.Run(target)
+	if err != nil {
+		return fuzzers.Result{}, err
+	}
+	return fuzzers.Result{
+		PacketsSent: report.PacketsSent,
+		Elapsed:     report.Elapsed,
+		Cycles:      report.Cycles,
+	}, nil
+}
+
+// buildFuzzer constructs the named fuzzer over a rig's client.
+func buildFuzzer(name FuzzerName, rig *Rig, seed int64, maxPackets int) (fuzzers.Fuzzer, error) {
+	switch name {
+	case NameL2Fuzz:
+		cfg := core.DefaultConfig(seed)
+		cfg.MaxPackets = maxPackets
+		return l2fuzzAdapter{f: core.New(rig.Client, cfg)}, nil
+	case NameDefensics:
+		return defensics.New(rig.Client, seed), nil
+	case NameBFuzz:
+		return bfuzz.New(rig.Client, seed), nil
+	case NameBSS:
+		return bss.New(rig.Client, seed), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown fuzzer %q", name)
+	}
+}
+
+// MeasureFuzzer runs one fuzzer for maxPackets against a measurement-
+// grade D2 and returns the sniffer's summary: one Table VII row.
+func MeasureFuzzer(name FuzzerName, seed int64, maxPackets int) (metrics.Summary, *Rig, error) {
+	rig, err := NewRig("D2", true)
+	if err != nil {
+		return metrics.Summary{}, nil, err
+	}
+	fz, err := buildFuzzer(name, rig, seed, maxPackets)
+	if err != nil {
+		return metrics.Summary{}, nil, err
+	}
+	if _, err := fz.Run(rig.Device.Address(), maxPackets); err != nil {
+		return metrics.Summary{}, nil, fmt.Errorf("harness: %s run: %w", name, err)
+	}
+	return rig.Sniffer.Summary(), rig, nil
+}

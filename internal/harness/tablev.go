@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"l2fuzz/internal/bt/device"
+)
+
+// TableVRow is one row of the testbed inventory (paper Table V).
+type TableVRow struct {
+	// ID is the device number D1..D8.
+	ID string
+	// Type, Vendor, Model, Year, OS, Stack and BTVersion mirror the
+	// paper's columns.
+	Type, Vendor, Model string
+	Year                int
+	OS, Stack           string
+	BTVersion           string
+	// MAC is the simulated BD_ADDR (not in the paper's table; recorded
+	// for reproducibility).
+	MAC string
+	// Ports is the number of exposed service ports including SDP.
+	Ports int
+}
+
+// TableV regenerates the device-inventory table from the catalog.
+func TableV() []TableVRow {
+	var rows []TableVRow
+	for _, e := range device.Catalog(false) {
+		ports := len(e.Config.Ports)
+		hasSDP := false
+		for _, p := range e.Config.Ports {
+			if p.PSM == 0x0001 {
+				hasSDP = true
+			}
+		}
+		if !hasSDP {
+			ports++ // the device model adds SDP automatically
+		}
+		rows = append(rows, TableVRow{
+			ID: e.ID, Type: e.Type, Vendor: e.Vendor, Model: e.Model,
+			Year: e.Year, OS: e.OS, Stack: e.Stack, BTVersion: e.BTVersion,
+			MAC: e.Addr.String(), Ports: ports,
+		})
+	}
+	return rows
+}
+
+// RenderTableV prints the rows the way the paper's Table V reads.
+func RenderTableV(rows []TableVRow) string {
+	var b strings.Builder
+	b.WriteString("Table V: Summary of test devices used in the experiments\n")
+	fmt.Fprintf(&b, "%-3s %-11s %-8s %-28s %-5s %-14s %-14s %-9s %-6s\n",
+		"No.", "Type", "Vendor", "Model", "Year", "OS or FW", "BT Stack", "BT Ver.", "Ports")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-3s %-11s %-8s %-28s %-5d %-14s %-14s %-9s %-6d\n",
+			r.ID, r.Type, r.Vendor, r.Model, r.Year, r.OS, r.Stack, r.BTVersion, r.Ports)
+	}
+	return b.String()
+}

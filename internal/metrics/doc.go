@@ -1,0 +1,28 @@
+// Package metrics implements the two evaluation metrics the paper
+// devises for black-box Bluetooth fuzzers (§IV-A), measured purely from
+// the packet trace — the role Wireshark and PRETT play in the paper's
+// testbed:
+//
+//   - Mutation efficiency = MP Ratio × (1 − PR Ratio), where the MP Ratio
+//     is the share of transmitted packets that are valid malformed test
+//     packets and the PR Ratio is the share of received packets that are
+//     rejections.
+//   - State coverage: the number of L2CAP states the target visited,
+//     inferred by replaying shadow state machines over the observed
+//     command sequence (protocol reverse engineering on the trace).
+//
+// The Sniffer taps the radio medium, reassembles HCI ACL fragments per
+// direction, decodes L2CAP signaling, and classifies:
+//
+//   - a transmitted packet is *malformed* when it decodes as a valid
+//     signaling command but carries an abnormal PSM (Table IV), a garbage
+//     tail beyond the declared lengths, or a payload channel ID that the
+//     trace shows was never allocated. Undecodable packets are *invalid*,
+//     not malformed — the paper's point about BFuzz is precisely that
+//     breaking dependent fields produces invalid packets that targets
+//     reject rather than parse;
+//   - a received packet is a *rejection* when it is an L2CAP Command
+//     Reject — the explicit signal a Wireshark filter isolates. Negative
+//     results inside well-formed responses (PSM not supported, security
+//     block) are normal protocol conversation, not packet rejections.
+package metrics

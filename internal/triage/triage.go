@@ -1,0 +1,173 @@
+// Package triage implements the crash root-cause analysis the paper's §V
+// names as its second limitation: "L2Fuzz can detect vulnerabilities by
+// analyzing the target's response packets; however, the root cause cannot
+// be determined immediately. We intend to resolve this issue by
+// considering the internal log hooking that analyzes the crash root
+// cause, similar to ToothPicker."
+//
+// In the simulated testbed the "internal log" is the device's crash
+// artefact. Triage correlates the black-box finding (error class, state,
+// port, last mutation) with the device-side dump (fault function, signal,
+// trigger record) and produces a structured root-cause report: the fault
+// layer, the defect category, and the packet shape that reaches it.
+package triage
+
+import (
+	"fmt"
+	"strings"
+
+	"l2fuzz/internal/bt/device"
+	"l2fuzz/internal/bt/sm"
+	"l2fuzz/internal/core"
+)
+
+// Category classifies the underlying defect.
+type Category uint8
+
+// Defect categories.
+const (
+	// CategoryUnknown means the evidence was insufficient.
+	CategoryUnknown Category = iota
+	// CategoryNullDeref is a null pointer dereference (CWE-476).
+	CategoryNullDeref
+	// CategoryMemoryCorruption is an out-of-bounds access or similar
+	// memory-safety violation (CWE-787/125).
+	CategoryMemoryCorruption
+	// CategoryUnvalidatedInput is improper input validation that kills a
+	// service without a memory-safety signature (CWE-20).
+	CategoryUnvalidatedInput
+)
+
+func (c Category) String() string {
+	switch c {
+	case CategoryNullDeref:
+		return "null pointer dereference (CWE-476)"
+	case CategoryMemoryCorruption:
+		return "memory corruption (CWE-787)"
+	case CategoryUnvalidatedInput:
+		return "improper input validation (CWE-20)"
+	default:
+		return "unknown"
+	}
+}
+
+// Layer names the protocol layer the defect lives in.
+type Layer uint8
+
+// Fault layers.
+const (
+	// LayerUnknown means no layer could be attributed.
+	LayerUnknown Layer = iota
+	// LayerL2CAP is the L2CAP channel machinery.
+	LayerL2CAP
+	// LayerRFCOMM is the RFCOMM multiplexer.
+	LayerRFCOMM
+	// LayerFirmware is below the host stack entirely.
+	LayerFirmware
+)
+
+func (l Layer) String() string {
+	switch l {
+	case LayerL2CAP:
+		return "L2CAP"
+	case LayerRFCOMM:
+		return "RFCOMM"
+	case LayerFirmware:
+		return "firmware"
+	default:
+		return "unknown"
+	}
+}
+
+// Report is a structured root-cause analysis.
+type Report struct {
+	// Category is the defect class.
+	Category Category
+	// Layer is the protocol layer at fault.
+	Layer Layer
+	// FaultFunction is the implicated function from the artefact, when
+	// one exists.
+	FaultFunction string
+	// StateJob is the L2CAP job under test when the target died.
+	StateJob sm.Job
+	// TriggerShape describes the packet shape that reaches the defect.
+	TriggerShape string
+	// Confidence is "high" when black-box and device-side evidence agree,
+	// "low" when only the black-box finding exists.
+	Confidence string
+}
+
+// Render produces the human-readable root-cause summary.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "root cause: %s in the %s layer", r.Category, r.Layer)
+	if r.FaultFunction != "" {
+		fmt.Fprintf(&b, "\nfault function: %s", r.FaultFunction)
+	}
+	fmt.Fprintf(&b, "\ntested job: %s", r.StateJob)
+	fmt.Fprintf(&b, "\ntrigger shape: %s", r.TriggerShape)
+	fmt.Fprintf(&b, "\nconfidence: %s", r.Confidence)
+	return b.String()
+}
+
+// Analyze correlates a black-box finding with the device-side crash
+// artefact (nil when none was recoverable, as for firmware deaths).
+func Analyze(finding core.Finding, dump *device.CrashDump) Report {
+	r := Report{
+		StateJob:     sm.JobOf(finding.State),
+		TriggerShape: describeTrigger(finding),
+		Confidence:   "low",
+	}
+	if dump == nil {
+		// No artefact: a firmware-level death diagnosed purely from the
+		// air interface, like the paper's D5.
+		if finding.Error == core.ErrConnectionReset {
+			r.Layer = LayerFirmware
+			r.Category = CategoryUnvalidatedInput
+		}
+		return r
+	}
+
+	r.Confidence = "high"
+	r.FaultFunction = dump.FaultFunc
+	switch {
+	case strings.Contains(dump.FaultFunc, "l2c_"), strings.Contains(dump.FaultFunc, "l2cap_"):
+		r.Layer = LayerL2CAP
+	case strings.Contains(dump.FaultFunc, "rfc_"), strings.Contains(dump.FaultFunc, "RFCOMM"):
+		r.Layer = LayerRFCOMM
+	default:
+		r.Layer = LayerUnknown
+	}
+	switch dump.Kind {
+	case device.DumpTombstone:
+		r.Category = CategoryNullDeref
+	case device.DumpGPFault:
+		r.Category = CategoryMemoryCorruption
+	default:
+		r.Category = CategoryUnvalidatedInput
+	}
+	return r
+}
+
+// describeTrigger renders the finding's last mutation as an attack shape.
+func describeTrigger(finding core.Finding) string {
+	m := finding.LastMutation
+	var parts []string
+	if m.PSMMutated {
+		parts = append(parts, fmt.Sprintf("abnormal PSM 0x%04X", uint16(m.PSM)))
+	}
+	if m.CIDsMutated > 0 {
+		parts = append(parts, fmt.Sprintf("%d mutated payload channel ID(s)", m.CIDsMutated))
+	}
+	if m.ControllerIDMutated {
+		parts = append(parts, "mutated controller ID")
+	}
+	if m.GarbageLen > 0 {
+		parts = append(parts, fmt.Sprintf("%d-byte garbage tail", m.GarbageLen))
+	}
+	if len(parts) == 0 {
+		return fmt.Sprintf("%v in state %v (no mutation recorded)", m.Code, finding.State)
+	}
+	return fmt.Sprintf("%v with %s, sent in state %v on %v",
+		m.Code, strings.Join(parts, " + "), finding.State, finding.PSM)
+}

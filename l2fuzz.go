@@ -1,0 +1,412 @@
+// Package l2fuzz is the public API of the L2Fuzz reproduction: a stateful
+// fuzzer for the Bluetooth BR/EDR L2CAP layer (Park, Nkuba, Woo, Lee —
+// "L2Fuzz: Discovering Bluetooth L2CAP Vulnerabilities Using Stateful
+// Fuzz Testing", DSN 2022), together with the simulated Bluetooth testbed
+// it runs against.
+//
+// A Simulation owns a deterministic in-memory radio medium, a tester
+// endpoint (the analogue of the paper's Ubuntu machine with a Class-1
+// dongle), a Wireshark-style trace sniffer, and any number of simulated
+// target devices. The eight devices of the paper's Table V are available
+// by catalog ID ("D1" through "D8"); custom devices can be built from
+// vendor stack profiles.
+//
+// Basic use:
+//
+//	sim, err := l2fuzz.NewSimulation()
+//	...
+//	target, err := sim.AddCatalogDevice("D2") // Pixel 3, defects armed
+//	...
+//	report, err := sim.RunL2Fuzz(target, l2fuzz.FuzzConfig{Seed: 1})
+//	if report.Found {
+//	    fmt.Println(report.Finding.Error, "in", report.Finding.State)
+//	    fmt.Println(sim.CrashDump(target)) // the Android tombstone
+//	}
+//
+// The four comparison fuzzers of the paper's evaluation (L2Fuzz,
+// Defensics, BFuzz, BSS) can all be run through RunBaseline, and the
+// sniffer's Metrics reproduce the paper's mutation-efficiency and
+// state-coverage measurements.
+package l2fuzz
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"l2fuzz/internal/bt/device"
+	"l2fuzz/internal/bt/host"
+	"l2fuzz/internal/bt/radio"
+	"l2fuzz/internal/bt/rfcomm"
+	"l2fuzz/internal/campaign"
+	"l2fuzz/internal/core"
+	"l2fuzz/internal/fuzzers"
+	"l2fuzz/internal/fuzzers/bfuzz"
+	"l2fuzz/internal/fuzzers/bss"
+	"l2fuzz/internal/fuzzers/defensics"
+	"l2fuzz/internal/metrics"
+	"l2fuzz/internal/rfcommfuzz"
+	"l2fuzz/internal/triage"
+)
+
+// Re-exported result and configuration types. These are aliases, so the
+// full method sets of the underlying types are available.
+type (
+	// Report is the outcome of an L2Fuzz run (scan result, finding,
+	// elapsed simulated time, packet counts, tested states).
+	Report = core.Report
+	// Finding is one detected vulnerability.
+	Finding = core.Finding
+	// ScanReport is the target-scanning phase outcome.
+	ScanReport = core.ScanReport
+	// ErrorClass is the paper's connection-error taxonomy.
+	ErrorClass = core.ErrorClass
+	// Metrics is a trace-derived measurement summary: MP ratio, PR
+	// ratio, mutation efficiency, packets/second and state coverage.
+	Metrics = metrics.Summary
+	// DeviceProfile is a vendor host-stack behaviour profile.
+	DeviceProfile = device.Profile
+	// ServicePort is one exposed L2CAP service.
+	ServicePort = device.ServicePort
+	// BaselineResult is the outcome of a baseline fuzzer run.
+	BaselineResult = fuzzers.Result
+	// RFCOMMService is one RFCOMM server channel on a custom device.
+	RFCOMMService = rfcomm.Service
+	// RFCOMMReport is the outcome of the §V extension fuzzer.
+	RFCOMMReport = rfcommfuzz.Report
+	// CampaignConfig parameterises long-term fuzzing with automatic
+	// device resets.
+	CampaignConfig = campaign.Config
+	// CampaignReport is the aggregated outcome of a campaign.
+	CampaignReport = campaign.Report
+	// RootCause is a structured crash root-cause analysis.
+	RootCause = triage.Report
+)
+
+// Connection-error classes (paper §III-E).
+const (
+	ErrNone             = core.ErrNone
+	ErrConnectionFailed = core.ErrConnectionFailed
+	ErrConnectionAbort  = core.ErrConnectionAborted
+	ErrConnectionReset  = core.ErrConnectionReset
+	ErrConnectionRefuse = core.ErrConnectionRefused
+	ErrTimeout          = core.ErrTimeout
+)
+
+// Vendor stack profile constructors, re-exported for custom devices.
+var (
+	// BlueDroidProfile models Android's stack (lenient, eager).
+	BlueDroidProfile = device.BlueDroidProfile
+	// BlueZProfile models the Linux stack.
+	BlueZProfile = device.BlueZProfile
+	// IOSProfile models Apple's iOS stack (strict).
+	IOSProfile = device.IOSProfile
+	// RTKitProfile models Apple's earphone firmware stack.
+	RTKitProfile = device.RTKitProfile
+	// BTWProfile models Broadcom's BTW stack (strict).
+	BTWProfile = device.BTWProfile
+	// WindowsProfile models the Microsoft stack (strict).
+	WindowsProfile = device.WindowsProfile
+)
+
+// BaselineName selects a comparison fuzzer.
+type BaselineName string
+
+// The comparison fuzzers of the paper's evaluation.
+const (
+	BaselineDefensics BaselineName = "Defensics"
+	BaselineBFuzz     BaselineName = "BFuzz"
+	BaselineBSS       BaselineName = "BSS"
+)
+
+// FuzzConfig parameterises an L2Fuzz run.
+type FuzzConfig struct {
+	// Seed drives every random choice; equal seeds give equal runs.
+	Seed int64
+	// MaxPackets caps the run; zero uses the library default.
+	MaxPackets int
+	// LogWriter receives the run log; nil discards it.
+	LogWriter io.Writer
+	// Ablations (paper §IV design-choice studies).
+	NoStateGuiding  bool
+	NoGarbage       bool
+	MutateAllFields bool
+}
+
+// Simulation is one self-contained virtual Bluetooth testbed.
+type Simulation struct {
+	medium  *radio.Medium
+	client  *host.Client
+	sniffer *metrics.Sniffer
+	devices map[string]*device.Device
+}
+
+// ErrUnknownDevice reports a device name the simulation does not hold.
+var ErrUnknownDevice = errors.New("l2fuzz: unknown device")
+
+// testerAddr is the tester endpoint's fixed address.
+var testerAddr = radio.MustBDAddr("00:1B:DC:F0:00:01")
+
+// NewSimulation builds an empty testbed with a tester endpoint and an
+// attached trace sniffer.
+func NewSimulation() (*Simulation, error) {
+	m := radio.NewMedium(nil, radio.DefaultTiming())
+	cl, err := host.NewClient(m, testerAddr, "test-machine")
+	if err != nil {
+		return nil, fmt.Errorf("l2fuzz: %w", err)
+	}
+	return &Simulation{
+		medium:  m,
+		client:  cl,
+		sniffer: metrics.NewSniffer(m, testerAddr),
+		devices: make(map[string]*device.Device),
+	}, nil
+}
+
+// AddCatalogDevice instantiates one of the paper's Table V devices by ID
+// ("D1".."D8") with its injected defects armed, returning the name under
+// which the simulation tracks it.
+func (s *Simulation) AddCatalogDevice(id string) (string, error) {
+	return s.addCatalog(id, false)
+}
+
+// AddMeasurementDevice instantiates a catalog device with defects
+// disabled: the measurement-grade target the paper's Table VII and
+// figure experiments need (the device must survive 100,000 packets).
+func (s *Simulation) AddMeasurementDevice(id string) (string, error) {
+	return s.addCatalog(id, true)
+}
+
+func (s *Simulation) addCatalog(id string, disableVulns bool) (string, error) {
+	entry, err := device.CatalogEntryByID(id, disableVulns)
+	if err != nil {
+		return "", fmt.Errorf("l2fuzz: %w", err)
+	}
+	d, err := device.New(s.medium, entry.Config)
+	if err != nil {
+		return "", fmt.Errorf("l2fuzz: %w", err)
+	}
+	s.devices[id] = d
+	return id, nil
+}
+
+// AddCustomDevice instantiates a device from a profile and port list. The
+// SDP port is added automatically when absent.
+func (s *Simulation) AddCustomDevice(name, mac string, profile DeviceProfile, ports []ServicePort) (string, error) {
+	addr, err := radio.ParseBDAddr(mac)
+	if err != nil {
+		return "", fmt.Errorf("l2fuzz: %w", err)
+	}
+	d, err := device.New(s.medium, device.Config{
+		Addr:    addr,
+		Name:    name,
+		Profile: profile,
+		Ports:   ports,
+	})
+	if err != nil {
+		return "", fmt.Errorf("l2fuzz: %w", err)
+	}
+	s.devices[name] = d
+	return name, nil
+}
+
+// Devices lists the simulation's device names in insertion-independent
+// (sorted) order.
+func (s *Simulation) Devices() []string {
+	names := make([]string, 0, len(s.devices))
+	for n := range s.devices {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+func (s *Simulation) lookup(name string) (*device.Device, error) {
+	d, ok := s.devices[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDevice, name)
+	}
+	return d, nil
+}
+
+// Scan runs only the target-scanning phase against the named device.
+func (s *Simulation) Scan(name string) (ScanReport, error) {
+	d, err := s.lookup(name)
+	if err != nil {
+		return ScanReport{}, err
+	}
+	return core.Scan(s.client, d.Address())
+}
+
+// RunL2Fuzz runs the full four-phase L2Fuzz workflow against the named
+// device.
+func (s *Simulation) RunL2Fuzz(name string, cfg FuzzConfig) (*Report, error) {
+	d, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := core.DefaultConfig(cfg.Seed)
+	if cfg.MaxPackets > 0 {
+		ccfg.MaxPackets = cfg.MaxPackets
+	}
+	ccfg.LogWriter = cfg.LogWriter
+	ccfg.NoStateGuiding = cfg.NoStateGuiding
+	ccfg.NoGarbage = cfg.NoGarbage
+	ccfg.MutateAllFields = cfg.MutateAllFields
+	return core.New(s.client, ccfg).Run(d.Address())
+}
+
+// RunBaseline runs one of the comparison fuzzers for maxPackets packets.
+func (s *Simulation) RunBaseline(name string, which BaselineName, seed int64, maxPackets int) (BaselineResult, error) {
+	d, err := s.lookup(name)
+	if err != nil {
+		return BaselineResult{}, err
+	}
+	var fz fuzzers.Fuzzer
+	switch which {
+	case BaselineDefensics:
+		fz = defensics.New(s.client, seed)
+	case BaselineBFuzz:
+		fz = bfuzz.New(s.client, seed)
+	case BaselineBSS:
+		fz = bss.New(s.client, seed)
+	default:
+		return BaselineResult{}, fmt.Errorf("l2fuzz: unknown baseline %q", which)
+	}
+	return fz.Run(d.Address(), maxPackets)
+}
+
+// AddRFCOMMDevice instantiates a custom device that also mounts an RFCOMM
+// multiplexer with the given server channels — the substrate for the
+// paper's §V extension. When vulnerable, the multiplexer ships the
+// reserved-DLCI defect the extension fuzzer can find.
+func (s *Simulation) AddRFCOMMDevice(name, mac string, profile DeviceProfile, ports []ServicePort, services []RFCOMMService, vulnerable bool) (string, error) {
+	addr, err := radio.ParseBDAddr(mac)
+	if err != nil {
+		return "", fmt.Errorf("l2fuzz: %w", err)
+	}
+	cfg := device.Config{
+		Addr:           addr,
+		Name:           name,
+		Profile:        profile,
+		Ports:          ports,
+		RFCOMMServices: services,
+	}
+	if vulnerable {
+		cfg.RFCOMMDefect = rfcomm.ReservedDLCIDefect()
+	}
+	d, err := device.New(s.medium, cfg)
+	if err != nil {
+		return "", fmt.Errorf("l2fuzz: %w", err)
+	}
+	s.devices[name] = d
+	return name, nil
+}
+
+// RunRFCOMMFuzz runs the §V extension fuzzer — L2Fuzz's state guiding and
+// core field mutating applied to the RFCOMM layer — against the named
+// device, which must expose a pairing-free RFCOMM port.
+func (s *Simulation) RunRFCOMMFuzz(name string, seed int64, maxFrames int) (*RFCOMMReport, error) {
+	d, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := rfcommfuzz.DefaultConfig(seed)
+	if maxFrames > 0 {
+		cfg.MaxFrames = maxFrames
+	}
+	return rfcommfuzz.New(s.client, cfg).Run(d.Address())
+}
+
+// RunCampaign performs long-term fuzzing against the named device: the
+// §V extension that replaces the paper's manual device resets with
+// automatic ones in the virtual environment. Zero-valued config fields
+// get library defaults.
+func (s *Simulation) RunCampaign(name string, cfg CampaignConfig) (*CampaignReport, error) {
+	d, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.New(s.client, d, cfg).Run()
+}
+
+// Metrics returns the sniffer's measurements over everything transmitted
+// so far in this simulation.
+func (s *Simulation) Metrics() Metrics { return s.sniffer.Summary() }
+
+// StateCoverage returns the names of the L2CAP states the trace shows the
+// targets visited.
+func (s *Simulation) StateCoverage() []string {
+	var out []string
+	for _, st := range s.sniffer.StatesVisited() {
+		out = append(out, st.String())
+	}
+	return out
+}
+
+// Crashed reports whether the named device has crashed.
+func (s *Simulation) Crashed(name string) (bool, error) {
+	d, err := s.lookup(name)
+	if err != nil {
+		return false, err
+	}
+	return d.Crashed(), nil
+}
+
+// CrashDump renders the named device's crash artefact (an Android
+// tombstone, a GP-fault record) or an empty string when the device is
+// healthy.
+func (s *Simulation) CrashDump(name string) (string, error) {
+	d, err := s.lookup(name)
+	if err != nil {
+		return "", err
+	}
+	if dump := d.CrashDump(); dump != nil {
+		return dump.Render(), nil
+	}
+	return "", nil
+}
+
+// ResetDevice performs the manual reset the paper's testers did between
+// runs, restoring a crashed device to service.
+func (s *Simulation) ResetDevice(name string) error {
+	d, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	wasGone := d.PoweredOff()
+	d.Reset()
+	if wasGone {
+		// The device vanished from the air entirely; put it back.
+		if err := s.medium.Register(d.Controller()); err != nil {
+			return fmt.Errorf("l2fuzz: re-register after reset: %w", err)
+		}
+	}
+	s.client.Disconnect(d.Address())
+	return nil
+}
+
+// Triage correlates a finding with the named device's crash artefact and
+// returns a structured root-cause analysis — the §V "internal log
+// hooking" extension. It works with or without an artefact (firmware
+// deaths leave none).
+func (s *Simulation) Triage(name string, finding Finding) (RootCause, error) {
+	d, err := s.lookup(name)
+	if err != nil {
+		return RootCause{}, err
+	}
+	return triage.Analyze(finding, d.CrashDump()), nil
+}
+
+// Ports lists the named device's service ports.
+func (s *Simulation) Ports(name string) ([]ServicePort, error) {
+	d, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.Ports(), nil
+}
