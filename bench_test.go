@@ -6,7 +6,9 @@
 package l2fuzz_test
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"l2fuzz"
 	"l2fuzz/internal/harness"
@@ -191,6 +193,38 @@ func BenchmarkAblation_MutateAllFields(b *testing.B) {
 		m := ablationRun(b, func(c *l2fuzz.FuzzConfig) { c.MutateAllFields = true })
 		b.ReportMetric(100*m.MPRatio, "MP%")
 		b.ReportMetric(100*m.PRRatio, "PR%")
+	}
+}
+
+// BenchmarkFleet measures farm throughput — aggregate transmitted
+// packets per wall-clock second — for a fixed eight-device × L2Fuzz ×
+// two-shard matrix at 1, 4 and 8 workers, establishing the scaling
+// trajectory of the fleet orchestrator. The matrix and budgets are
+// constant across worker counts, so pkts/s is directly comparable.
+// (On a single-core host the three counts converge: the farm is CPU-
+// bound, so the speedup tracks available cores.)
+func BenchmarkFleet(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				report, err := l2fuzz.RunFleet(l2fuzz.FleetConfig{
+					Shards:           2,
+					BaseSeed:         7,
+					Workers:          workers,
+					MaxPacketsPerJob: 50_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if report.Failed > 0 {
+					b.Fatalf("%d jobs failed", report.Failed)
+				}
+				wall := time.Since(start).Seconds()
+				b.ReportMetric(float64(report.TotalPackets)/wall, "pkts/s")
+				b.ReportMetric(float64(len(report.Findings)), "findings")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,126 @@
+// Command l2farm runs a parallel fuzzing farm over the simulated
+// Bluetooth testbed: a job matrix of catalog devices × fuzzer kinds ×
+// seed shards executed on a bounded worker pool, with a progress line
+// per completed job and a final farm report.
+//
+// Usage:
+//
+//	l2farm [-devices all|D1,D2,...] [-fuzzers l2fuzz,defensics,bfuzz,bss,rfcomm,campaign]
+//	       [-shards 1] [-workers 0] [-seed 1] [-max-packets 250000]
+//	       [-measure] [-quiet] [-dump]
+//
+// Examples:
+//
+//	l2farm                                   # all eight devices × L2Fuzz
+//	l2farm -fuzzers l2fuzz,campaign -shards 4
+//	l2farm -devices D2,D5 -fuzzers all -measure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"l2fuzz"
+)
+
+// kindAliases maps the CLI's lower-case fuzzer names to farm kinds,
+// and allKindNames is the -fuzzers all expansion in report order; both
+// derive from the library's kind list so new kinds appear here
+// automatically.
+var (
+	kindAliases  = make(map[string]l2fuzz.FleetKind)
+	allKindNames []string
+)
+
+func init() {
+	for _, kind := range l2fuzz.FleetKinds() {
+		name := strings.ToLower(string(kind))
+		kindAliases[name] = kind
+		allKindNames = append(allKindNames, name)
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "l2farm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		devices    = flag.String("devices", "all", "comma-separated catalog IDs, or \"all\" for the Table V testbed")
+		fuzzers    = flag.String("fuzzers", "l2fuzz", "comma-separated fuzzer kinds, or \"all\"")
+		shards     = flag.Int("shards", 1, "seed shards per (device, fuzzer) cell")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		seed       = flag.Int64("seed", 1, "farm base seed")
+		maxPackets = flag.Int("max-packets", 0, "per-job packet budget (0 = library default)")
+		measure    = flag.Bool("measure", false, "measurement-grade targets: defects disabled, metrics only")
+		quiet      = flag.Bool("quiet", false, "suppress per-job progress lines")
+		dump       = flag.Bool("dump", false, "print the first crash artefact of every finding")
+	)
+	flag.Parse()
+
+	cfg := l2fuzz.FleetConfig{
+		Shards:           *shards,
+		BaseSeed:         *seed,
+		Workers:          *workers,
+		MaxPacketsPerJob: *maxPackets,
+		MeasurementGrade: *measure,
+	}
+	if *devices != "all" {
+		for _, id := range strings.Split(*devices, ",") {
+			cfg.Devices = append(cfg.Devices, strings.TrimSpace(id))
+		}
+	}
+	names := allKindNames
+	if *fuzzers != "all" {
+		names = strings.Split(*fuzzers, ",")
+	}
+	for _, name := range names {
+		kind, ok := kindAliases[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			return fmt.Errorf("unknown fuzzer %q (have %s)", name, strings.Join(allKindNames, ", "))
+		}
+		cfg.Kinds = append(cfg.Kinds, kind)
+	}
+	if !*quiet {
+		cfg.OnJobDone = func(res l2fuzz.FleetJobResult, done, total int) {
+			status := fmt.Sprintf("%d findings", len(res.Findings))
+			switch {
+			case res.Err != nil:
+				status = "FAILED: " + res.Err.Error()
+			case len(res.Findings) == 0 && res.Crashed:
+				status = "crashed (undetected)"
+			case len(res.Findings) == 0:
+				status = "clean"
+			}
+			fmt.Printf("[%*d/%d] %-22s %9d pkts  %12v sim  %s\n",
+				len(fmt.Sprint(total)), done, total, res.Job.String(),
+				res.PacketsSent, res.Elapsed.Round(1e6), status)
+		}
+	}
+
+	report, err := l2fuzz.RunFleet(cfg)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Println()
+	}
+	fmt.Print(report.Render())
+	if *dump {
+		for i, f := range report.Findings {
+			if f.Dump == "" {
+				continue
+			}
+			fmt.Printf("\ncrash artefact for finding %d (%s):\n%s", i+1, f.Signature, f.Dump)
+		}
+	}
+	if report.Failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", report.Failed, len(report.Jobs))
+	}
+	return nil
+}

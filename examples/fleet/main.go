@@ -1,0 +1,44 @@
+// Example fleet sweeps the paper's whole Table V testbed in one
+// parallel farm run: eight devices × L2Fuzz on an eight-worker pool,
+// reproducing the Table VI detections in a single de-duplicated report
+// instead of eight babysat sessions — the §V "virtual environment"
+// limitation answered at farm scale.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"l2fuzz"
+)
+
+func main() {
+	report, err := l2fuzz.RunFleet(l2fuzz.FleetConfig{
+		// Devices and Kinds default to the full Table V testbed × L2Fuzz.
+		BaseSeed:         7,
+		Workers:          8,
+		MaxPacketsPerJob: 1_000_000,
+		// The robust devices never crash; a smaller budget keeps the
+		// farm's time where the paper's findings are.
+		Budgets: map[string]int{"D4": 100_000, "D6": 100_000, "D7": 100_000},
+		OnJobDone: func(res l2fuzz.FleetJobResult, done, total int) {
+			fmt.Printf("[%d/%d] %s done\n", done, total, res.Job.String())
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println()
+	fmt.Print(report.Render())
+
+	fmt.Println("\nTable VI cross-check (defect-armed devices must be found):")
+	for _, id := range []string{"D1", "D2", "D3", "D5", "D8"} {
+		verdict := "MISSED"
+		if len(report.FindingsOn(id)) > 0 {
+			verdict = "found"
+		}
+		fmt.Printf("  %s: %s\n", id, verdict)
+	}
+}

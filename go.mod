@@ -1,0 +1,3 @@
+module l2fuzz
+
+go 1.24

@@ -1,0 +1,27 @@
+// Package fleet orchestrates a parallel fuzzing farm over the simulated
+// Bluetooth testbed: the production-scale answer to the paper's first
+// limitation (§V), which confined one tester to one physical device.
+//
+// A Config describes a job matrix — catalog device IDs × fuzzer kinds ×
+// a sharded seed range — and Run executes every job of the matrix on a
+// bounded worker pool. Each job builds its own radio medium, target
+// device, tester client and trace sniffer, so jobs share no mutable
+// state and the farm scales with worker count while every individual
+// job stays bit-for-bit deterministic: equal (job, seed) gives equal
+// results regardless of worker scheduling.
+//
+// The aggregator folds the per-job results into one Report:
+//
+//   - findings are de-duplicated across devices and jobs by the same
+//     (state, PSM, error-class) black-box signature the campaign runner
+//     uses, recording which devices and fuzzer kinds reproduced each;
+//   - trace metrics merge via metrics.Summary.Merge into one
+//     farm-wide summary, with state coverage unioned exactly from the
+//     per-job visited-state sets;
+//   - per-device and per-kind breakdowns count jobs, packets, crashes
+//     and finding occurrences.
+//
+// The report's job list is ordered by job index (device-major), so the
+// whole Report is reproducible for a given Config no matter how the
+// scheduler interleaved the workers.
+package fleet

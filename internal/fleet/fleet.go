@@ -1,0 +1,253 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"l2fuzz/internal/bt/device"
+)
+
+// Kind selects the fuzzer a job runs.
+type Kind string
+
+// The six job kinds a farm can schedule: the paper's four compared
+// fuzzers plus the two §V extensions.
+const (
+	KindL2Fuzz    Kind = "L2Fuzz"
+	KindDefensics Kind = "Defensics"
+	KindBFuzz     Kind = "BFuzz"
+	KindBSS       Kind = "BSS"
+	KindRFCOMM    Kind = "RFCOMM"
+	KindCampaign  Kind = "Campaign"
+)
+
+// AllKinds returns every schedulable kind in report order.
+func AllKinds() []Kind {
+	return []Kind{KindL2Fuzz, KindDefensics, KindBFuzz, KindBSS, KindRFCOMM, KindCampaign}
+}
+
+// valid reports whether k names a known kind.
+func (k Kind) valid() bool {
+	for _, known := range AllKinds() {
+		if k == known {
+			return true
+		}
+	}
+	return false
+}
+
+// Defaults for unset Config fields.
+const (
+	// DefaultMaxPacketsPerJob bounds one job (one campaign run for
+	// KindCampaign). The full library default of 6M packets per job
+	// would make an all-robust sweep needlessly slow; a quarter million
+	// matches the campaign runner's per-run budget.
+	DefaultMaxPacketsPerJob = 250_000
+	// DefaultCampaignRuns is the per-job run count for KindCampaign.
+	DefaultCampaignRuns = 3
+)
+
+// Config describes a farm job matrix and how to execute it.
+type Config struct {
+	// Devices are catalog device IDs (D1..D8). Empty means the whole
+	// eight-device Table V testbed.
+	Devices []string
+	// Kinds are the fuzzer kinds to run against every device. Empty
+	// means KindL2Fuzz only.
+	Kinds []Kind
+	// Shards is the number of seed shards per (device, kind) cell: each
+	// shard is an independent job with its own derived seed, so one cell
+	// explores Shards distinct mutation streams. Zero means one.
+	Shards int
+	// BaseSeed drives the whole farm. Every job derives its own seed
+	// from (BaseSeed, device, kind, shard), so equal configs give equal
+	// farms and distinct jobs get distinct streams.
+	BaseSeed int64
+	// Workers bounds the worker pool. Zero means GOMAXPROCS.
+	Workers int
+	// MaxPacketsPerJob caps each job's traffic (frames for KindRFCOMM,
+	// packets per campaign run for KindCampaign). Zero means
+	// DefaultMaxPacketsPerJob.
+	MaxPacketsPerJob int
+	// Budgets overrides MaxPacketsPerJob per device ID, letting a farm
+	// spend its packet budget where the devices need it.
+	Budgets map[string]int
+	// CampaignRuns is the number of runs per KindCampaign job. Zero
+	// means DefaultCampaignRuns.
+	CampaignRuns int
+	// MeasurementGrade builds targets with their defects disabled, for
+	// metrics-only sweeps (the farm analogue of Table VII).
+	MeasurementGrade bool
+	// OnJobDone, when set, is called after every job completes, with
+	// calls serialized (done counts completed jobs so far, total the
+	// matrix size). It must not mutate the result.
+	OnJobDone func(res JobResult, done, total int)
+}
+
+// withDefaults fills unset fields and validates the matrix.
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Devices) == 0 {
+		for _, e := range device.Catalog(false) {
+			c.Devices = append(c.Devices, e.ID)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, id := range c.Devices {
+		if _, err := device.CatalogEntryByID(id, false); err != nil {
+			return c, fmt.Errorf("fleet: %w", err)
+		}
+		if seen[id] {
+			return c, fmt.Errorf("fleet: duplicate device %q in matrix", id)
+		}
+		seen[id] = true
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = []Kind{KindL2Fuzz}
+	}
+	seenKind := make(map[Kind]bool)
+	for _, k := range c.Kinds {
+		if !k.valid() {
+			return c, fmt.Errorf("fleet: unknown fuzzer kind %q", k)
+		}
+		if seenKind[k] {
+			return c, fmt.Errorf("fleet: duplicate fuzzer kind %q in matrix", k)
+		}
+		seenKind[k] = true
+	}
+	for id, b := range c.Budgets {
+		if !seen[id] {
+			return c, fmt.Errorf("fleet: budget for %q, which is not in the device matrix", id)
+		}
+		if b <= 0 {
+			return c, fmt.Errorf("fleet: non-positive budget %d for %q", b, id)
+		}
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxPacketsPerJob <= 0 {
+		c.MaxPacketsPerJob = DefaultMaxPacketsPerJob
+	}
+	if c.CampaignRuns <= 0 {
+		c.CampaignRuns = DefaultCampaignRuns
+	}
+	return c, nil
+}
+
+// budget resolves the packet budget for one device. Budgets entries
+// are validated positive and in-matrix by withDefaults.
+func (c Config) budget(deviceID string) int {
+	if b, ok := c.Budgets[deviceID]; ok {
+		return b
+	}
+	return c.MaxPacketsPerJob
+}
+
+// Job is one cell×shard of the matrix: one fuzzer kind against one
+// device with one derived seed.
+type Job struct {
+	// Index is the job's position in the matrix enumeration
+	// (device-major, then kind, then shard).
+	Index int
+	// Device is the catalog device ID.
+	Device string
+	// Kind is the fuzzer kind.
+	Kind Kind
+	// Shard is the seed shard, 0..Shards-1.
+	Shard int
+	// Seed is the derived job seed.
+	Seed int64
+	// MaxPackets is the job's resolved traffic budget.
+	MaxPackets int
+}
+
+func (j Job) String() string {
+	return fmt.Sprintf("%s×%s/%d", j.Device, j.Kind, j.Shard)
+}
+
+// jobSeed derives a job's seed from the farm seed and the job
+// coordinates. The derivation is a pure function of its arguments, so
+// seeds do not depend on matrix shape or worker scheduling.
+func jobSeed(base int64, deviceID string, kind Kind, shard int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(deviceID))
+	h.Write([]byte{0})
+	h.Write([]byte(kind))
+	mixed := base
+	mixed ^= int64(h.Sum64() & 0x7FFF_FFFF_FFFF_FFFF)
+	mixed += int64(shard) * 0x5DEECE66D // spread shards across the stream
+	if mixed < 0 {
+		mixed = -mixed
+	}
+	return mixed
+}
+
+// buildJobs enumerates the matrix in deterministic device-major order.
+func buildJobs(cfg Config) []Job {
+	var jobs []Job
+	for _, dev := range cfg.Devices {
+		for _, kind := range cfg.Kinds {
+			for shard := 0; shard < cfg.Shards; shard++ {
+				jobs = append(jobs, Job{
+					Index:      len(jobs),
+					Device:     dev,
+					Kind:       kind,
+					Shard:      shard,
+					Seed:       jobSeed(cfg.BaseSeed, dev, kind, shard),
+					MaxPackets: cfg.budget(dev),
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// Run executes the farm: every job of the matrix on a pool of
+// cfg.Workers workers, aggregated into one Report. The error return
+// covers matrix validation only; individual job failures are recorded
+// in their JobResult and counted in Report.Failed.
+func Run(cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	jobs := buildJobs(cfg)
+	results := make([]JobResult, len(jobs))
+
+	start := time.Now()
+	feed := make(chan Job)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range feed {
+				res := runJob(cfg, job)
+				results[job.Index] = res
+				if cfg.OnJobDone != nil {
+					progressMu.Lock()
+					done++
+					cfg.OnJobDone(res, done, len(jobs))
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		feed <- j
+	}
+	close(feed)
+	wg.Wait()
+
+	report := aggregate(cfg, results)
+	report.Wall = time.Since(start)
+	return report, nil
+}

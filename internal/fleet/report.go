@@ -1,0 +1,289 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"l2fuzz/internal/bt/l2cap"
+	"l2fuzz/internal/bt/sm"
+	"l2fuzz/internal/core"
+	"l2fuzz/internal/metrics"
+)
+
+// Occurrence is one finding a job produced, with its per-job repeat
+// count (campaign jobs reproduce findings across runs).
+type Occurrence struct {
+	// Finding is the detected vulnerability.
+	Finding core.Finding
+	// Count is how many times this job reproduced it.
+	Count int
+	// Dump is the device-side crash artefact, "" when none.
+	Dump string
+}
+
+// JobResult is the outcome of one job.
+type JobResult struct {
+	// Job identifies the matrix cell and shard.
+	Job Job
+	// Err records a job failure; the other fields are partial when set.
+	Err error
+	// PacketsSent counts the job's transmitted packets (frames for
+	// KindRFCOMM).
+	PacketsSent int
+	// Elapsed is the job's simulated duration.
+	Elapsed time.Duration
+	// Findings are the job's detections (empty for baseline kinds).
+	Findings []Occurrence
+	// Crashed reports whether the target device ended the job crashed.
+	Crashed bool
+	// Summary is the job's trace-metrics summary.
+	Summary metrics.Summary
+	// States are the trace-inferred visited state names.
+	States []string
+}
+
+// Signature is the black-box identity of a finding — the same
+// (state, port, error-class) triple the campaign runner de-duplicates
+// by, here applied across devices and fuzzer kinds.
+type Signature struct {
+	State sm.State
+	PSM   l2cap.PSM
+	Class core.ErrorClass
+}
+
+func (s Signature) String() string {
+	return fmt.Sprintf("%v in %v on %v", s.Class, s.State, s.PSM)
+}
+
+// FindingRecord is one de-duplicated finding with its farm-wide
+// provenance.
+type FindingRecord struct {
+	// Signature is the de-duplication key.
+	Signature Signature
+	// Finding is the first occurrence.
+	Finding core.Finding
+	// Devices lists the catalog IDs that exhibited it, sorted.
+	Devices []string
+	// Kinds lists the fuzzer kinds that produced it, in AllKinds order.
+	Kinds []Kind
+	// Count sums occurrences across all jobs.
+	Count int
+	// Dump is the first non-empty crash artefact.
+	Dump string
+}
+
+// GroupStats is a per-device or per-kind breakdown row.
+type GroupStats struct {
+	// Jobs counts scheduled jobs, Failed the errored subset.
+	Jobs, Failed int
+	// Packets sums transmitted packets.
+	Packets int
+	// Findings sums finding occurrences.
+	Findings int
+	// Crashes counts jobs that left the device crashed.
+	Crashes int
+}
+
+// Report is the aggregated farm outcome.
+type Report struct {
+	// Jobs are all job results in matrix order.
+	Jobs []JobResult
+	// Completed and Failed partition the matrix.
+	Completed, Failed int
+	// TotalPackets sums packets across jobs.
+	TotalPackets int
+	// TotalSimTime sums simulated job durations (the serial-equivalent
+	// campaign length).
+	TotalSimTime time.Duration
+	// Wall is the real time the farm took.
+	Wall time.Duration
+	// Workers is the pool size used.
+	Workers int
+	// Findings are the de-duplicated findings in first-seen matrix
+	// order.
+	Findings []FindingRecord
+	// PerDevice and PerKind are the breakdown tables.
+	PerDevice map[string]*GroupStats
+	PerKind   map[Kind]*GroupStats
+	// Metrics is the farm-wide merged trace summary, with StatesCovered
+	// replaced by the exact union of per-job visited-state sets.
+	Metrics metrics.Summary
+	// StateCoverage is that union, sorted by name.
+	StateCoverage []string
+}
+
+// FindingsOn returns the de-duplicated findings involving one device.
+func (r *Report) FindingsOn(deviceID string) []FindingRecord {
+	var out []FindingRecord
+	for _, f := range r.Findings {
+		for _, d := range f.Devices {
+			if d == deviceID {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// aggregate folds per-job results (already in matrix order) into a
+// Report. Everything here is a pure function of the results slice, so
+// the report does not depend on worker scheduling.
+func aggregate(cfg Config, results []JobResult) *Report {
+	rep := &Report{
+		Jobs:      results,
+		Workers:   cfg.Workers,
+		PerDevice: make(map[string]*GroupStats),
+		PerKind:   make(map[Kind]*GroupStats),
+	}
+	recordIdx := make(map[Signature]int)
+	states := make(map[string]bool)
+	var sums []metrics.Summary
+
+	for _, res := range results {
+		dev := rep.PerDevice[res.Job.Device]
+		if dev == nil {
+			dev = &GroupStats{}
+			rep.PerDevice[res.Job.Device] = dev
+		}
+		kg := rep.PerKind[res.Job.Kind]
+		if kg == nil {
+			kg = &GroupStats{}
+			rep.PerKind[res.Job.Kind] = kg
+		}
+
+		dev.Jobs++
+		kg.Jobs++
+		if res.Err != nil {
+			rep.Failed++
+			dev.Failed++
+			kg.Failed++
+			continue
+		}
+		rep.Completed++
+		rep.TotalPackets += res.PacketsSent
+		rep.TotalSimTime += res.Elapsed
+		dev.Packets += res.PacketsSent
+		kg.Packets += res.PacketsSent
+		if res.Crashed {
+			dev.Crashes++
+			kg.Crashes++
+		}
+		sums = append(sums, res.Summary)
+		for _, st := range res.States {
+			states[st] = true
+		}
+
+		for _, occ := range res.Findings {
+			dev.Findings += occ.Count
+			kg.Findings += occ.Count
+			sig := Signature{State: occ.Finding.State, PSM: occ.Finding.PSM, Class: occ.Finding.Error}
+			idx, ok := recordIdx[sig]
+			if !ok {
+				idx = len(rep.Findings)
+				recordIdx[sig] = idx
+				rep.Findings = append(rep.Findings, FindingRecord{Signature: sig, Finding: occ.Finding})
+			}
+			rec := &rep.Findings[idx]
+			rec.Count += occ.Count
+			rec.Devices = addDevice(rec.Devices, res.Job.Device)
+			rec.Kinds = addKind(rec.Kinds, res.Job.Kind)
+			if rec.Dump == "" {
+				rec.Dump = occ.Dump
+			}
+		}
+	}
+
+	rep.Metrics = metrics.MergeAll(sums)
+	for st := range states {
+		rep.StateCoverage = append(rep.StateCoverage, st)
+	}
+	sort.Strings(rep.StateCoverage)
+	rep.Metrics.StatesCovered = len(rep.StateCoverage)
+	return rep
+}
+
+// addDevice inserts a device ID into a sorted unique slice.
+func addDevice(devs []string, id string) []string {
+	i := sort.SearchStrings(devs, id)
+	if i < len(devs) && devs[i] == id {
+		return devs
+	}
+	devs = append(devs, "")
+	copy(devs[i+1:], devs[i:])
+	devs[i] = id
+	return devs
+}
+
+// addKind inserts a kind into a slice kept in AllKinds order.
+func addKind(kinds []Kind, k Kind) []Kind {
+	for _, have := range kinds {
+		if have == k {
+			return kinds
+		}
+	}
+	kinds = append(kinds, k)
+	order := make(map[Kind]int, len(AllKinds()))
+	for i, known := range AllKinds() {
+		order[known] = i
+	}
+	sort.Slice(kinds, func(i, j int) bool { return order[kinds[i]] < order[kinds[j]] })
+	return kinds
+}
+
+// Render prints the farm report as a fixed-width console table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet report: %d jobs (%d failed), %d workers\n",
+		len(r.Jobs), r.Failed, r.Workers)
+	fmt.Fprintf(&b, "traffic: %d packets, %v simulated, %v wall\n",
+		r.TotalPackets, r.TotalSimTime.Round(time.Millisecond), r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "metrics: MP %.2f%%  PR %.2f%%  efficiency %.2f%%  %.0f pkt/s (serial-equivalent), %d states covered\n",
+		100*r.Metrics.MPRatio, 100*r.Metrics.PRRatio,
+		100*r.Metrics.MutationEfficiency, r.Metrics.PacketsPerSecond,
+		r.Metrics.StatesCovered)
+
+	b.WriteString("\nPer device:\n")
+	fmt.Fprintf(&b, "  %-8s %5s %6s %10s %9s %8s\n", "device", "jobs", "failed", "packets", "findings", "crashes")
+	for _, id := range sortedKeys(r.PerDevice) {
+		g := r.PerDevice[id]
+		fmt.Fprintf(&b, "  %-8s %5d %6d %10d %9d %8d\n", id, g.Jobs, g.Failed, g.Packets, g.Findings, g.Crashes)
+	}
+
+	b.WriteString("\nPer fuzzer:\n")
+	fmt.Fprintf(&b, "  %-10s %5s %6s %10s %9s %8s\n", "fuzzer", "jobs", "failed", "packets", "findings", "crashes")
+	for _, k := range AllKinds() {
+		g := r.PerKind[k]
+		if g == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-10s %5d %6d %10d %9d %8d\n", k, g.Jobs, g.Failed, g.Packets, g.Findings, g.Crashes)
+	}
+
+	if len(r.Findings) == 0 {
+		b.WriteString("\nNo findings.\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "\nFindings (%d distinct signatures):\n", len(r.Findings))
+	for i, f := range r.Findings {
+		kinds := make([]string, len(f.Kinds))
+		for j, k := range f.Kinds {
+			kinds[j] = string(k)
+		}
+		fmt.Fprintf(&b, "  %2d. %s (%s) ×%d  devices: %s  via: %s\n",
+			i+1, f.Signature, f.Finding.Error.Severity(), f.Count,
+			strings.Join(f.Devices, ","), strings.Join(kinds, ","))
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]*GroupStats) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -59,11 +59,12 @@ func seeds(scid, dcid l2cap.CID) []l2cap.Command {
 
 // Run alternates a short valid handshake (so some state is reachable)
 // with bursts of everything-mutated seed packets.
-func (f *Fuzzer) Run(target radio.BDAddr, maxPackets int) (fuzzers.Result, error) {
+func (f *Fuzzer) Run(target radio.BDAddr, maxPackets int) (res fuzzers.Result, err error) {
 	if err := f.cl.Connect(target); err != nil {
 		return fuzzers.Result{}, fmt.Errorf("bfuzz: %w", err)
 	}
-	var res fuzzers.Result
+	start := f.cl.Clock().Now()
+	defer func() { res.Elapsed = f.cl.Clock().Now() - start }()
 	sent := 0
 	for sent < maxPackets {
 		// Valid prelude: open and fully configure one channel.

@@ -41,11 +41,12 @@ func (f *Fuzzer) Name() string { return "BSS" }
 // Run floods the target with one-field-varied normal packets: echo
 // requests of varying payload, information requests of varying type, and
 // an occasional plain connection request (the BT 2.1 command set).
-func (f *Fuzzer) Run(target radio.BDAddr, maxPackets int) (fuzzers.Result, error) {
+func (f *Fuzzer) Run(target radio.BDAddr, maxPackets int) (res fuzzers.Result, err error) {
 	if err := f.cl.Connect(target); err != nil {
 		return fuzzers.Result{}, fmt.Errorf("bss: %w", err)
 	}
-	var res fuzzers.Result
+	start := f.cl.Clock().Now()
+	defer func() { res.Elapsed = f.cl.Clock().Now() - start }()
 	sent := 0
 	send := func(cmd l2cap.Command) bool {
 		if _, err := f.cl.SendCommand(target, cmd, nil); err != nil {
@@ -56,13 +57,14 @@ func (f *Fuzzer) Run(target radio.BDAddr, maxPackets int) (fuzzers.Result, error
 		f.cl.Drain()
 		return true
 	}
+loop:
 	for sent < maxPackets {
 		switch sent % 8 {
 		case 7:
 			// The occasional plain connect exercises the connection path;
 			// the channel is left unconfigured and dies with the link.
 			if !send(&l2cap.ConnectionReq{PSM: l2cap.PSMSDP, SCID: f.cl.NextSourceCID()}) {
-				break
+				break loop
 			}
 			f.cl.Disconnect(target)
 			if err := f.cl.Connect(target); err != nil {
@@ -73,7 +75,7 @@ func (f *Fuzzer) Run(target radio.BDAddr, maxPackets int) (fuzzers.Result, error
 		case 3:
 			// Information request with the type field varied.
 			if !send(&l2cap.InformationReq{InfoType: l2cap.InfoType(f.rng.Intn(4))}) {
-				break
+				break loop
 			}
 		default:
 			// l2ping-style echo with the data field varied.
@@ -82,7 +84,7 @@ func (f *Fuzzer) Run(target radio.BDAddr, maxPackets int) (fuzzers.Result, error
 				data[i] = byte(f.rng.Intn(256))
 			}
 			if !send(&l2cap.EchoReq{Data: data}) {
-				break
+				break loop
 			}
 		}
 	}

@@ -43,11 +43,12 @@ func (f *Fuzzer) Name() string { return "Defensics" }
 // Run executes valid test-case templates against the target. Each case
 // performs a full connect-configure-open-disconnect conversation with at
 // most one anomalized packet inside, exactly one test packet per state.
-func (f *Fuzzer) Run(target radio.BDAddr, maxPackets int) (fuzzers.Result, error) {
+func (f *Fuzzer) Run(target radio.BDAddr, maxPackets int) (res fuzzers.Result, err error) {
 	if err := f.cl.Connect(target); err != nil {
 		return fuzzers.Result{}, fmt.Errorf("defensics: %w", err)
 	}
-	var res fuzzers.Result
+	start := f.cl.Clock().Now()
+	defer func() { res.Elapsed = f.cl.Clock().Now() - start }()
 	sent := 0
 	deviceReqs := 0
 	// send transmits one packet and tallies any configuration request the

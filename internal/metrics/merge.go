@@ -1,0 +1,47 @@
+package metrics
+
+// Merge combines two trace summaries into the summary an ideal single
+// capture of both traces would have produced. Counters add, the derived
+// ratios are recomputed from the merged counters, and the spans add —
+// the traces come from independent simulations with independent clocks,
+// so the merged span is the serial-equivalent capture time and the
+// merged PacketsPerSecond is the serial-equivalent throughput (a
+// parallel farm's wall-clock speedup is measured separately, against
+// real time).
+//
+// StatesCovered is a count, not a set, so the union is not recoverable
+// here: the merge keeps the larger count as a lower bound. Callers that
+// hold the underlying visited-state sets (the fleet aggregator does)
+// should overwrite it with the size of the true union.
+func (s Summary) Merge(o Summary) Summary {
+	m := Summary{
+		Transmitted: s.Transmitted + o.Transmitted,
+		Malformed:   s.Malformed + o.Malformed,
+		InvalidTx:   s.InvalidTx + o.InvalidTx,
+		Received:    s.Received + o.Received,
+		Rejections:  s.Rejections + o.Rejections,
+		Span:        s.Span + o.Span,
+	}
+	if m.Transmitted > 0 {
+		m.MPRatio = float64(m.Malformed) / float64(m.Transmitted)
+	}
+	if m.Received > 0 {
+		m.PRRatio = float64(m.Rejections) / float64(m.Received)
+	}
+	m.MutationEfficiency = m.MPRatio * (1 - m.PRRatio)
+	if span := m.Span.Seconds(); span > 0 {
+		m.PacketsPerSecond = float64(m.Transmitted) / span
+	}
+	m.StatesCovered = max(s.StatesCovered, o.StatesCovered)
+	return m
+}
+
+// MergeAll folds any number of summaries with Merge. An empty slice
+// yields the zero Summary.
+func MergeAll(sums []Summary) Summary {
+	var out Summary
+	for _, s := range sums {
+		out = out.Merge(s)
+	}
+	return out
+}

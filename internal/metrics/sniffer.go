@@ -229,6 +229,8 @@ type Summary struct {
 	// PacketsPerSecond is Transmitted divided by the simulated capture
 	// span.
 	PacketsPerSecond float64
+	// Span is the simulated capture span (first to last observed frame).
+	Span time.Duration
 	// StatesCovered is the trace-inferred state coverage.
 	StatesCovered int
 }
@@ -249,7 +251,8 @@ func (s *Sniffer) Summary() Summary {
 		sum.PRRatio = float64(s.rejections) / float64(s.received)
 	}
 	sum.MutationEfficiency = sum.MPRatio * (1 - sum.PRRatio)
-	if span := (s.lastTime - s.startTime).Seconds(); span > 0 {
+	sum.Span = s.lastTime - s.startTime
+	if span := sum.Span.Seconds(); span > 0 {
 		sum.PacketsPerSecond = float64(s.transmitted) / span
 	}
 	sum.StatesCovered = len(s.states.Visited())

@@ -27,12 +27,26 @@
 // Defensics, BFuzz, BSS) can all be run through RunBaseline, and the
 // sniffer's Metrics reproduce the paper's mutation-efficiency and
 // state-coverage measurements.
+//
+// Beyond one simulation at a time, RunFleet orchestrates a parallel
+// fuzzing farm: a job matrix of catalog devices × fuzzer kinds × seed
+// shards executed on a bounded worker pool, with findings de-duplicated
+// across devices and trace metrics merged into one report:
+//
+//	report, err := l2fuzz.RunFleet(l2fuzz.FleetConfig{
+//	    Kinds:   []l2fuzz.FleetKind{l2fuzz.FleetL2Fuzz, l2fuzz.FleetCampaign},
+//	    Shards:  4,
+//	    Workers: 8,
+//	})
+//	...
+//	fmt.Println(report.Render()) // per-device/per-fuzzer farm report
 package l2fuzz
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"l2fuzz/internal/bt/device"
 	"l2fuzz/internal/bt/host"
@@ -40,6 +54,7 @@ import (
 	"l2fuzz/internal/bt/rfcomm"
 	"l2fuzz/internal/campaign"
 	"l2fuzz/internal/core"
+	"l2fuzz/internal/fleet"
 	"l2fuzz/internal/fuzzers"
 	"l2fuzz/internal/fuzzers/bfuzz"
 	"l2fuzz/internal/fuzzers/bss"
@@ -81,7 +96,45 @@ type (
 	CampaignReport = campaign.Report
 	// RootCause is a structured crash root-cause analysis.
 	RootCause = triage.Report
+	// FleetConfig describes a fuzzing-farm job matrix (devices ×
+	// fuzzer kinds × seed shards) and its worker pool.
+	FleetConfig = fleet.Config
+	// FleetReport is the aggregated farm outcome: de-duplicated
+	// findings, per-device/per-fuzzer breakdowns, merged metrics.
+	FleetReport = fleet.Report
+	// FleetJob is one cell×shard of a farm matrix.
+	FleetJob = fleet.Job
+	// FleetJobResult is the outcome of one farm job.
+	FleetJobResult = fleet.JobResult
+	// FleetFinding is one de-duplicated farm finding with provenance.
+	FleetFinding = fleet.FindingRecord
+	// FleetKind selects the fuzzer a farm job runs.
+	FleetKind = fleet.Kind
 )
+
+// The schedulable farm job kinds: the paper's four compared fuzzers
+// plus the two §V extensions.
+const (
+	FleetL2Fuzz    = fleet.KindL2Fuzz
+	FleetDefensics = fleet.KindDefensics
+	FleetBFuzz     = fleet.KindBFuzz
+	FleetBSS       = fleet.KindBSS
+	FleetRFCOMM    = fleet.KindRFCOMM
+	FleetCampaign  = fleet.KindCampaign
+)
+
+// FleetKinds returns every schedulable farm job kind in report order.
+func FleetKinds() []FleetKind { return fleet.AllKinds() }
+
+// RunFleet executes a fuzzing farm: every job of the matrix described
+// by cfg runs in its own private Simulation-equivalent testbed on a
+// bounded worker pool, and the results aggregate into one FleetReport.
+// Equal configs give equal reports regardless of worker scheduling
+// (wall-clock aside). The error covers matrix validation; individual
+// job failures are recorded in the report.
+func RunFleet(cfg FleetConfig) (*FleetReport, error) {
+	return fleet.Run(cfg)
+}
 
 // Connection-error classes (paper §III-E).
 const (
@@ -217,11 +270,7 @@ func (s *Simulation) Devices() []string {
 	for n := range s.devices {
 		names = append(names, n)
 	}
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sort.Strings(names)
 	return names
 }
 
