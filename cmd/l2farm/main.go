@@ -1,19 +1,26 @@
 // Command l2farm runs a parallel fuzzing farm over the simulated
 // Bluetooth testbed: a job matrix of catalog devices × fuzzer kinds ×
-// seed shards executed on a bounded worker pool, with a progress line
-// per completed job and a final farm report.
+// seed shards executed on a bounded worker pool.
+//
+// The farm is consumed through its event stream (StartFleet): every
+// JobDone event becomes a progress line, and with -stream every
+// NewFinding event is printed the moment the farm first sees that
+// (state, PSM, error-class) signature — the mode meant for very long
+// unattended farms, where waiting for the end-of-run report is not an
+// option. The final farm report is rendered either way.
 //
 // Usage:
 //
 //	l2farm [-devices all|D1,D2,...] [-fuzzers l2fuzz,defensics,bfuzz,bss,rfcomm,campaign]
 //	       [-shards 1] [-workers 0] [-seed 1] [-max-packets 250000]
-//	       [-measure] [-quiet] [-dump]
+//	       [-measure] [-quiet] [-stream] [-dump]
 //
 // Examples:
 //
 //	l2farm                                   # all eight devices × L2Fuzz
 //	l2farm -fuzzers l2fuzz,campaign -shards 4
 //	l2farm -devices D2,D5 -fuzzers all -measure
+//	l2farm -fuzzers all -shards 8 -stream   # findings as they land
 package main
 
 import (
@@ -59,6 +66,7 @@ func run() error {
 		maxPackets = flag.Int("max-packets", 0, "per-job packet budget (0 = library default)")
 		measure    = flag.Bool("measure", false, "measurement-grade targets: defects disabled, metrics only")
 		quiet      = flag.Bool("quiet", false, "suppress per-job progress lines")
+		stream     = flag.Bool("stream", false, "print de-duplicated findings as they land")
 		dump       = flag.Bool("dump", false, "print the first crash artefact of every finding")
 	)
 	flag.Parse()
@@ -86,8 +94,19 @@ func run() error {
 		}
 		cfg.Kinds = append(cfg.Kinds, kind)
 	}
-	if !*quiet {
-		cfg.OnJobDone = func(res l2fuzz.FleetJobResult, done, total int) {
+
+	farm, err := l2fuzz.StartFleet(cfg)
+	if err != nil {
+		return err
+	}
+	printed := false
+	for ev := range farm.Events() {
+		switch ev.Type {
+		case l2fuzz.FleetJobDone:
+			if *quiet {
+				continue
+			}
+			res := ev.Result
 			status := fmt.Sprintf("%d findings", len(res.Findings))
 			switch {
 			case res.Err != nil:
@@ -98,16 +117,23 @@ func run() error {
 				status = "clean"
 			}
 			fmt.Printf("[%*d/%d] %-22s %9d pkts  %12v sim  %s\n",
-				len(fmt.Sprint(total)), done, total, res.Job.String(),
+				len(fmt.Sprint(ev.Total)), ev.Done, ev.Total, res.Job.String(),
 				res.PacketsSent, res.Elapsed.Round(1e6), status)
+			printed = true
+		case l2fuzz.FleetNewFinding:
+			if !*stream {
+				continue
+			}
+			f := ev.Finding
+			fmt.Printf("NEW %s (%s) via %s on %s  [%d/%d jobs in]\n",
+				f.Signature, f.Finding.Error.Severity(), ev.Job.Kind, ev.Job.Device,
+				ev.Done, ev.Total)
+			printed = true
 		}
 	}
+	report := farm.Wait()
 
-	report, err := l2fuzz.RunFleet(cfg)
-	if err != nil {
-		return err
-	}
-	if !*quiet {
+	if printed {
 		fmt.Println()
 	}
 	fmt.Print(report.Render())

@@ -2,7 +2,9 @@
 // parallel farm run: eight devices × L2Fuzz on an eight-worker pool,
 // reproducing the Table VI detections in a single de-duplicated report
 // instead of eight babysat sessions — the §V "virtual environment"
-// limitation answered at farm scale.
+// limitation answered at farm scale. The farm is consumed through its
+// streaming event interface, printing progress and findings as they
+// land rather than waiting for the end of the run.
 package main
 
 import (
@@ -13,7 +15,7 @@ import (
 )
 
 func main() {
-	report, err := l2fuzz.RunFleet(l2fuzz.FleetConfig{
+	farm, err := l2fuzz.StartFleet(l2fuzz.FleetConfig{
 		// Devices and Kinds default to the full Table V testbed × L2Fuzz.
 		BaseSeed:         7,
 		Workers:          8,
@@ -21,14 +23,20 @@ func main() {
 		// The robust devices never crash; a smaller budget keeps the
 		// farm's time where the paper's findings are.
 		Budgets: map[string]int{"D4": 100_000, "D6": 100_000, "D7": 100_000},
-		OnJobDone: func(res l2fuzz.FleetJobResult, done, total int) {
-			fmt.Printf("[%d/%d] %s done\n", done, total, res.Job.String())
-		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleet:", err)
 		os.Exit(1)
 	}
+	for ev := range farm.Events() {
+		switch ev.Type {
+		case l2fuzz.FleetJobDone:
+			fmt.Printf("[%d/%d] %s done\n", ev.Done, ev.Total, ev.Job.String())
+		case l2fuzz.FleetNewFinding:
+			fmt.Printf("        new finding: %s\n", ev.Finding.Signature)
+		}
+	}
+	report := farm.Wait()
 
 	fmt.Println()
 	fmt.Print(report.Render())

@@ -86,17 +86,19 @@ type Runner struct {
 	cfg Config
 }
 
-// New builds a runner. The device must live on the same medium as the
-// client.
+// New builds a runner, filling zero-valued config fields from
+// DefaultConfig so the defaults live in one place. The device must live
+// on the same medium as the client.
 func New(cl *host.Client, dev *device.Device, cfg Config) *Runner {
+	def := DefaultConfig(cfg.Seed)
 	if cfg.MaxRuns <= 0 {
-		cfg.MaxRuns = 8
+		cfg.MaxRuns = def.MaxRuns
 	}
 	if cfg.MaxPacketsPerRun <= 0 {
-		cfg.MaxPacketsPerRun = 250_000
+		cfg.MaxPacketsPerRun = def.MaxPacketsPerRun
 	}
 	if cfg.StopAfterDryRuns <= 0 {
-		cfg.StopAfterDryRuns = 2
+		cfg.StopAfterDryRuns = def.StopAfterDryRuns
 	}
 	return &Runner{cl: cl, dev: dev, cfg: cfg}
 }

@@ -1,0 +1,206 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"l2fuzz/internal/metrics"
+)
+
+// Aggregator folds JobResults into farm-wide state as they arrive and
+// can snapshot a full Report at any moment. It is safe for concurrent
+// use, and — because every fold is commutative and Snapshot orders its
+// output by matrix position, never by arrival — the snapshot after all
+// jobs are folded is identical no matter how the scheduler interleaved
+// the workers. The batch Run path and the streaming Farm path both
+// aggregate through it, so the two cannot disagree.
+type Aggregator struct {
+	mu      sync.Mutex
+	cfg     Config
+	results []JobResult // dense, indexed by Job.Index
+	folded  []bool
+
+	completed, failed int
+	totalPackets      int
+	totalSim          time.Duration
+	perDevice         map[string]*GroupStats
+	perKind           map[Kind]*GroupStats
+	recs              map[Signature]*findingAcc
+	metrics           metrics.Summary
+}
+
+// findingAcc is one de-duplicated finding under accumulation, with the
+// provenance needed to keep Snapshot arrival-order independent.
+type findingAcc struct {
+	rec FindingRecord
+	// minIdx/occPos locate the canonical first occurrence: the lowest
+	// contributing job index, tie-broken by position within that job's
+	// finding list. Snapshot orders records by them.
+	minIdx, occPos int
+	// dumpIdx is the job index rec.Dump came from; math.MaxInt when the
+	// record has no dump yet.
+	dumpIdx int
+}
+
+// NewAggregator builds an empty aggregator for cfg's job matrix. The
+// config is validated and defaulted exactly as Run does.
+func NewAggregator(cfg Config) (*Aggregator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return newAggregator(cfg, len(buildJobs(cfg))), nil
+}
+
+// newAggregator builds the aggregator from an already-resolved config
+// and its matrix size, so Start does not default the config twice.
+func newAggregator(cfg Config, total int) *Aggregator {
+	return &Aggregator{
+		cfg:       cfg,
+		results:   make([]JobResult, total),
+		folded:    make([]bool, total),
+		perDevice: make(map[string]*GroupStats),
+		perKind:   make(map[Kind]*GroupStats),
+		recs:      make(map[Signature]*findingAcc),
+	}
+}
+
+// Add folds one job result and returns the findings whose signatures
+// the farm had not seen before this fold (snapshot copies, in the
+// order the job listed them). Results whose job index falls outside
+// the matrix, or that were already folded, are ignored.
+func (a *Aggregator) Add(res JobResult) []FindingRecord {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	idx := res.Job.Index
+	if idx < 0 || idx >= len(a.results) || a.folded[idx] {
+		return nil
+	}
+	a.folded[idx] = true
+	a.results[idx] = res
+
+	dev := a.perDevice[res.Job.Device]
+	if dev == nil {
+		dev = &GroupStats{}
+		a.perDevice[res.Job.Device] = dev
+	}
+	kg := a.perKind[res.Job.Kind]
+	if kg == nil {
+		kg = &GroupStats{}
+		a.perKind[res.Job.Kind] = kg
+	}
+	dev.Jobs++
+	kg.Jobs++
+	if res.Err != nil {
+		a.failed++
+		dev.Failed++
+		kg.Failed++
+		return nil
+	}
+	a.completed++
+	a.totalPackets += res.PacketsSent
+	a.totalSim += res.Elapsed
+	dev.Packets += res.PacketsSent
+	kg.Packets += res.PacketsSent
+	if res.Crashed {
+		dev.Crashes++
+		kg.Crashes++
+	}
+	a.metrics = a.metrics.Merge(res.Summary)
+
+	var fresh []FindingRecord
+	for pos, occ := range res.Findings {
+		dev.Findings += occ.Count
+		kg.Findings += occ.Count
+		sig := Signature{State: occ.Finding.State, PSM: occ.Finding.PSM, Class: occ.Finding.Error}
+		acc, seen := a.recs[sig]
+		if !seen {
+			acc = &findingAcc{
+				rec:     FindingRecord{Signature: sig, Finding: occ.Finding},
+				minIdx:  idx,
+				occPos:  pos,
+				dumpIdx: math.MaxInt,
+			}
+			a.recs[sig] = acc
+		} else if idx < acc.minIdx {
+			// An earlier matrix cell contributed the signature: its
+			// occurrence is the canonical first one.
+			acc.rec.Finding = occ.Finding
+			acc.minIdx, acc.occPos = idx, pos
+		}
+		acc.rec.Count += occ.Count
+		acc.rec.Devices = addDevice(acc.rec.Devices, res.Job.Device)
+		acc.rec.Kinds = addKind(acc.rec.Kinds, res.Job.Kind)
+		if occ.Dump != "" && idx < acc.dumpIdx {
+			acc.rec.Dump = occ.Dump
+			acc.dumpIdx = idx
+		}
+		if !seen {
+			fresh = append(fresh, cloneRecord(acc.rec))
+		}
+	}
+	return fresh
+}
+
+// Snapshot renders the aggregate as a full Report at this moment.
+// Pending jobs are simply absent from Jobs and the counters; once every
+// job is folded, the snapshot is the farm's final report. The caller
+// owns the result — later folds do not mutate it. Wall is left zero for
+// the caller to stamp.
+func (a *Aggregator) Snapshot() *Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	rep := &Report{
+		Completed:    a.completed,
+		Failed:       a.failed,
+		TotalPackets: a.totalPackets,
+		TotalSimTime: a.totalSim,
+		Workers:      a.cfg.Workers,
+		PerDevice:    make(map[string]*GroupStats, len(a.perDevice)),
+		PerKind:      make(map[Kind]*GroupStats, len(a.perKind)),
+		Metrics:      a.metrics,
+	}
+	for i, res := range a.results {
+		if a.folded[i] {
+			rep.Jobs = append(rep.Jobs, res)
+		}
+	}
+	for id, g := range a.perDevice {
+		c := *g
+		rep.PerDevice[id] = &c
+	}
+	for k, g := range a.perKind {
+		c := *g
+		rep.PerKind[k] = &c
+	}
+
+	accs := make([]*findingAcc, 0, len(a.recs))
+	for _, acc := range a.recs {
+		accs = append(accs, acc)
+	}
+	sort.Slice(accs, func(i, j int) bool {
+		if accs[i].minIdx != accs[j].minIdx {
+			return accs[i].minIdx < accs[j].minIdx
+		}
+		return accs[i].occPos < accs[j].occPos
+	})
+	for _, acc := range accs {
+		rep.Findings = append(rep.Findings, cloneRecord(acc.rec))
+	}
+
+	rep.Metrics.States = append([]string(nil), a.metrics.States...)
+	rep.StateCoverage = append([]string(nil), a.metrics.States...)
+	return rep
+}
+
+// cloneRecord deep-copies a finding record so snapshots and events do
+// not alias the accumulator's slices.
+func cloneRecord(rec FindingRecord) FindingRecord {
+	rec.Devices = append([]string(nil), rec.Devices...)
+	rec.Kinds = append([]Kind(nil), rec.Kinds...)
+	return rec
+}

@@ -3,25 +3,35 @@
 // limitation (§V), which confined one tester to one physical device.
 //
 // A Config describes a job matrix — catalog device IDs × fuzzer kinds ×
-// a sharded seed range — and Run executes every job of the matrix on a
-// bounded worker pool. Each job builds its own radio medium, target
-// device, tester client and trace sniffer, so jobs share no mutable
-// state and the farm scales with worker count while every individual
-// job stays bit-for-bit deterministic: equal (job, seed) gives equal
-// results regardless of worker scheduling.
+// a sharded seed range — and the farm executes every job of the matrix
+// on a bounded worker pool. Each job builds its own radio medium,
+// target device, tester client and trace sniffer (through the shared
+// internal/testbed builder), so jobs share no mutable state and the
+// farm scales with worker count while every individual job stays
+// bit-for-bit deterministic: equal (job, seed) gives equal results
+// regardless of worker scheduling.
 //
-// The aggregator folds the per-job results into one Report:
+// The execution core is streaming: Start launches the farm and returns
+// a Farm whose Events channel announces JobStarted, JobDone and
+// NewFinding as they happen, while a live Aggregator folds each
+// JobResult on arrival. Snapshot renders the aggregate mid-run — the
+// long-campaign mode the paper's §V virtual environment exists for —
+// and Wait returns the final report. Run is a thin wrapper that drains
+// the stream, so batch and streaming consumers share one aggregation
+// code path and provably agree.
+//
+// The aggregate folds per-job results into one Report:
 //
 //   - findings are de-duplicated across devices and jobs by the same
 //     (state, PSM, error-class) black-box signature the campaign runner
 //     uses, recording which devices and fuzzer kinds reproduced each;
-//   - trace metrics merge via metrics.Summary.Merge into one
-//     farm-wide summary, with state coverage unioned exactly from the
-//     per-job visited-state sets;
+//   - trace metrics merge via metrics.Summary.Merge into one farm-wide
+//     summary, whose States set is the exact union of the per-job
+//     visited-state sets;
 //   - per-device and per-kind breakdowns count jobs, packets, crashes
 //     and finding occurrences.
 //
-// The report's job list is ordered by job index (device-major), so the
-// whole Report is reproducible for a given Config no matter how the
-// scheduler interleaved the workers.
+// Every fold is commutative and Snapshot orders its output by matrix
+// position, never by arrival, so the whole Report is reproducible for a
+// given Config no matter how the scheduler interleaved the workers.
 package fleet

@@ -3,9 +3,8 @@ package fleet
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"runtime"
-	"sync"
-	"time"
 
 	"l2fuzz/internal/bt/device"
 )
@@ -182,10 +181,9 @@ func jobSeed(base int64, deviceID string, kind Kind, shard int) int64 {
 	mixed := base
 	mixed ^= int64(h.Sum64() & 0x7FFF_FFFF_FFFF_FFFF)
 	mixed += int64(shard) * 0x5DEECE66D // spread shards across the stream
-	if mixed < 0 {
-		mixed = -mixed
-	}
-	return mixed
+	// Clear the sign bit rather than negating: -math.MinInt64 is still
+	// math.MinInt64, so a negation could leak a negative seed.
+	return mixed & math.MaxInt64
 }
 
 // buildJobs enumerates the matrix in deterministic device-major order.
@@ -209,45 +207,22 @@ func buildJobs(cfg Config) []Job {
 }
 
 // Run executes the farm: every job of the matrix on a pool of
-// cfg.Workers workers, aggregated into one Report. The error return
-// covers matrix validation only; individual job failures are recorded
-// in their JobResult and counted in Report.Failed.
+// cfg.Workers workers, aggregated into one Report. It is a thin wrapper
+// over the streaming core — Start the farm, drain its event stream
+// (feeding cfg.OnJobDone from the JobDone events), return the final
+// snapshot — so batch and streaming consumers share one aggregation
+// path. The error return covers matrix validation only; individual job
+// failures are recorded in their JobResult and counted in
+// Report.Failed.
 func Run(cfg Config) (*Report, error) {
-	cfg, err := cfg.withDefaults()
+	farm, err := Start(cfg)
 	if err != nil {
 		return nil, err
 	}
-	jobs := buildJobs(cfg)
-	results := make([]JobResult, len(jobs))
-
-	start := time.Now()
-	feed := make(chan Job)
-	var wg sync.WaitGroup
-	var progressMu sync.Mutex
-	done := 0
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for job := range feed {
-				res := runJob(cfg, job)
-				results[job.Index] = res
-				if cfg.OnJobDone != nil {
-					progressMu.Lock()
-					done++
-					cfg.OnJobDone(res, done, len(jobs))
-					progressMu.Unlock()
-				}
-			}
-		}()
+	for ev := range farm.Events() {
+		if ev.Type == EventJobDone && cfg.OnJobDone != nil {
+			cfg.OnJobDone(*ev.Result, ev.Done, ev.Total)
+		}
 	}
-	for _, j := range jobs {
-		feed <- j
-	}
-	close(feed)
-	wg.Wait()
-
-	report := aggregate(cfg, results)
-	report.Wall = time.Since(start)
-	return report, nil
+	return farm.Wait(), nil
 }

@@ -38,10 +38,9 @@ type JobResult struct {
 	Findings []Occurrence
 	// Crashed reports whether the target device ended the job crashed.
 	Crashed bool
-	// Summary is the job's trace-metrics summary.
+	// Summary is the job's trace-metrics summary, including the
+	// visited-state set in Summary.States.
 	Summary metrics.Summary
-	// States are the trace-inferred visited state names.
-	States []string
 }
 
 // Signature is the black-box identity of a finding — the same
@@ -107,8 +106,8 @@ type Report struct {
 	// PerDevice and PerKind are the breakdown tables.
 	PerDevice map[string]*GroupStats
 	PerKind   map[Kind]*GroupStats
-	// Metrics is the farm-wide merged trace summary, with StatesCovered
-	// replaced by the exact union of per-job visited-state sets.
+	// Metrics is the farm-wide merged trace summary; its States set is
+	// the exact union of the per-job visited-state sets.
 	Metrics metrics.Summary
 	// StateCoverage is that union, sorted by name.
 	StateCoverage []string
@@ -126,83 +125,6 @@ func (r *Report) FindingsOn(deviceID string) []FindingRecord {
 		}
 	}
 	return out
-}
-
-// aggregate folds per-job results (already in matrix order) into a
-// Report. Everything here is a pure function of the results slice, so
-// the report does not depend on worker scheduling.
-func aggregate(cfg Config, results []JobResult) *Report {
-	rep := &Report{
-		Jobs:      results,
-		Workers:   cfg.Workers,
-		PerDevice: make(map[string]*GroupStats),
-		PerKind:   make(map[Kind]*GroupStats),
-	}
-	recordIdx := make(map[Signature]int)
-	states := make(map[string]bool)
-	var sums []metrics.Summary
-
-	for _, res := range results {
-		dev := rep.PerDevice[res.Job.Device]
-		if dev == nil {
-			dev = &GroupStats{}
-			rep.PerDevice[res.Job.Device] = dev
-		}
-		kg := rep.PerKind[res.Job.Kind]
-		if kg == nil {
-			kg = &GroupStats{}
-			rep.PerKind[res.Job.Kind] = kg
-		}
-
-		dev.Jobs++
-		kg.Jobs++
-		if res.Err != nil {
-			rep.Failed++
-			dev.Failed++
-			kg.Failed++
-			continue
-		}
-		rep.Completed++
-		rep.TotalPackets += res.PacketsSent
-		rep.TotalSimTime += res.Elapsed
-		dev.Packets += res.PacketsSent
-		kg.Packets += res.PacketsSent
-		if res.Crashed {
-			dev.Crashes++
-			kg.Crashes++
-		}
-		sums = append(sums, res.Summary)
-		for _, st := range res.States {
-			states[st] = true
-		}
-
-		for _, occ := range res.Findings {
-			dev.Findings += occ.Count
-			kg.Findings += occ.Count
-			sig := Signature{State: occ.Finding.State, PSM: occ.Finding.PSM, Class: occ.Finding.Error}
-			idx, ok := recordIdx[sig]
-			if !ok {
-				idx = len(rep.Findings)
-				recordIdx[sig] = idx
-				rep.Findings = append(rep.Findings, FindingRecord{Signature: sig, Finding: occ.Finding})
-			}
-			rec := &rep.Findings[idx]
-			rec.Count += occ.Count
-			rec.Devices = addDevice(rec.Devices, res.Job.Device)
-			rec.Kinds = addKind(rec.Kinds, res.Job.Kind)
-			if rec.Dump == "" {
-				rec.Dump = occ.Dump
-			}
-		}
-	}
-
-	rep.Metrics = metrics.MergeAll(sums)
-	for st := range states {
-		rep.StateCoverage = append(rep.StateCoverage, st)
-	}
-	sort.Strings(rep.StateCoverage)
-	rep.Metrics.StatesCovered = len(rep.StateCoverage)
-	return rep
 }
 
 // addDevice inserts a device ID into a sorted unique slice.

@@ -4,10 +4,7 @@ import (
 	"fmt"
 
 	"l2fuzz/internal/bt/device"
-	"l2fuzz/internal/bt/host"
 	"l2fuzz/internal/bt/l2cap"
-	"l2fuzz/internal/bt/radio"
-	"l2fuzz/internal/bt/rfcomm"
 	"l2fuzz/internal/bt/sm"
 	"l2fuzz/internal/campaign"
 	"l2fuzz/internal/core"
@@ -15,67 +12,22 @@ import (
 	"l2fuzz/internal/fuzzers/bfuzz"
 	"l2fuzz/internal/fuzzers/bss"
 	"l2fuzz/internal/fuzzers/defensics"
-	"l2fuzz/internal/metrics"
 	"l2fuzz/internal/rfcommfuzz"
+	"l2fuzz/internal/testbed"
 )
 
-// testerAddr is the per-job tester endpoint address. Every job has its
-// own medium, so the farm's testers never collide.
-var testerAddr = radio.MustBDAddr("00:1B:DC:F0:00:01")
-
-// rig is one job's private testbed.
-type rig struct {
-	medium  *radio.Medium
-	dev     *device.Device
-	client  *host.Client
-	sniffer *metrics.Sniffer
-}
-
-// newRig builds a fresh medium, target device, tester client and
-// sniffer for one job. KindRFCOMM jobs get an RFCOMM-capable variant of
-// the catalog device: the same stack profile and ports, but with the
-// RFCOMM port opened pairing-free, the standard serial services
-// mounted, and — on defect-armed farms against devices the paper found
-// vulnerable — the reserved-DLCI mux defect.
-func newRig(cfg Config, job Job) (*rig, error) {
-	entry, err := device.CatalogEntryByID(job.Device, cfg.MeasurementGrade)
-	if err != nil {
-		return nil, err
-	}
-	dcfg := entry.Config
-	if job.Kind == KindRFCOMM {
-		dcfg.Ports = rfcommPorts(dcfg.Ports)
-		dcfg.RFCOMMServices = []rfcomm.Service{
-			{Channel: 1, Name: "Serial Port Profile"},
-			{Channel: 2, Name: "Hands-Free"},
-		}
-		if entry.ExpectVuln && !cfg.MeasurementGrade {
-			dcfg.RFCOMMDefect = rfcomm.ReservedDLCIDefect()
-		}
-	}
-	m := radio.NewMedium(nil, radio.DefaultTiming())
-	d, err := device.New(m, dcfg)
-	if err != nil {
-		return nil, err
-	}
-	cl, err := host.NewClient(m, testerAddr, "farm-worker")
-	if err != nil {
-		return nil, err
-	}
-	return &rig{medium: m, dev: d, client: cl, sniffer: metrics.NewSniffer(m, testerAddr)}, nil
-}
-
-// rfcommPorts rewrites a port list so the RFCOMM port exists and is
-// reachable without pairing.
-func rfcommPorts(ports []device.ServicePort) []device.ServicePort {
-	out := append([]device.ServicePort(nil), ports...)
-	for i, p := range out {
-		if p.PSM == l2cap.PSMRFCOMM {
-			out[i].RequiresPairing = false
-			return out
-		}
-	}
-	return append(out, device.ServicePort{PSM: l2cap.PSMRFCOMM, Name: "RFCOMM"})
+// newRig builds one job's private testbed through the shared builder:
+// a fresh medium, target device, tester client and sniffer, so jobs
+// share no mutable state. KindRFCOMM jobs get the RFCOMM-capable
+// variant of the catalog device (serial services mounted, RFCOMM port
+// pairing-free, and — on defect-armed farms against devices the paper
+// found vulnerable — the reserved-DLCI mux defect).
+func newRig(cfg Config, job Job) (*testbed.Rig, error) {
+	return testbed.New(job.Device, testbed.Options{
+		DisableVulns: cfg.MeasurementGrade,
+		RFCOMM:       job.Kind == KindRFCOMM,
+		TesterName:   "farm-worker",
+	})
 }
 
 // runJob executes one job on a fresh rig and folds the outcome into a
@@ -101,18 +53,15 @@ func runJob(cfg Config, job Job) JobResult {
 		res.Err = fmt.Errorf("unknown kind %q", job.Kind)
 		return res
 	}
-	res.Crashed = r.dev.Crashed()
-	res.Summary = r.sniffer.Summary()
-	for _, st := range r.sniffer.StatesVisited() {
-		res.States = append(res.States, st.String())
-	}
+	res.Crashed = r.Device.Crashed()
+	res.Summary = r.Sniffer.Summary()
 	return res
 }
 
-func runL2Fuzz(r *rig, job Job, res *JobResult) {
+func runL2Fuzz(r *testbed.Rig, job Job, res *JobResult) {
 	fcfg := core.DefaultConfig(job.Seed)
 	fcfg.MaxPackets = job.MaxPackets
-	report, err := core.New(r.client, fcfg).Run(r.dev.Address())
+	report, err := core.New(r.Client, fcfg).Run(r.Device.Address())
 	if err != nil {
 		res.Err = err
 		return
@@ -120,7 +69,7 @@ func runL2Fuzz(r *rig, job Job, res *JobResult) {
 	res.PacketsSent = report.PacketsSent
 	res.Elapsed = report.Elapsed
 	if report.Found {
-		res.Findings = []Occurrence{{Finding: report.Finding, Count: 1, Dump: crashDump(r.dev)}}
+		res.Findings = []Occurrence{{Finding: report.Finding, Count: 1, Dump: crashDump(r.Device)}}
 	}
 }
 
@@ -128,17 +77,17 @@ func runL2Fuzz(r *rig, job Job, res *JobResult) {
 // detection phase — the paper's evaluation found none of the zero-days
 // with them — so they contribute traffic, metrics and (at most) a
 // crashed-device flag, never classified findings.
-func runBaseline(r *rig, job Job, res *JobResult) {
+func runBaseline(r *testbed.Rig, job Job, res *JobResult) {
 	var fz fuzzers.Fuzzer
 	switch job.Kind {
 	case KindDefensics:
-		fz = defensics.New(r.client, job.Seed)
+		fz = defensics.New(r.Client, job.Seed)
 	case KindBFuzz:
-		fz = bfuzz.New(r.client, job.Seed)
+		fz = bfuzz.New(r.Client, job.Seed)
 	default:
-		fz = bss.New(r.client, job.Seed)
+		fz = bss.New(r.Client, job.Seed)
 	}
-	result, err := fz.Run(r.dev.Address(), job.MaxPackets)
+	result, err := fz.Run(r.Device.Address(), job.MaxPackets)
 	if err != nil {
 		res.Err = err
 		return
@@ -152,10 +101,10 @@ func runBaseline(r *rig, job Job, res *JobResult) {
 // port: Connection Aborted when L2CAP survived the mux (the paper's
 // layer-isolation observation), Connection Reset when the whole stack
 // went with it.
-func runRFCOMM(r *rig, job Job, res *JobResult) {
+func runRFCOMM(r *testbed.Rig, job Job, res *JobResult) {
 	fcfg := rfcommfuzz.DefaultConfig(job.Seed)
 	fcfg.MaxFrames = job.MaxPackets
-	report, err := rfcommfuzz.New(r.client, fcfg).Run(r.dev.Address())
+	report, err := rfcommfuzz.New(r.Client, fcfg).Run(r.Device.Address())
 	if err != nil {
 		res.Err = err
 		return
@@ -175,16 +124,16 @@ func runRFCOMM(r *rig, job Job, res *JobResult) {
 				PSM:   l2cap.PSMRFCOMM,
 			},
 			Count: 1,
-			Dump:  crashDump(r.dev),
+			Dump:  crashDump(r.Device),
 		}}
 	}
 }
 
-func runCampaign(cfg Config, r *rig, job Job, res *JobResult) {
+func runCampaign(cfg Config, r *testbed.Rig, job Job, res *JobResult) {
 	ccfg := campaign.DefaultConfig(job.Seed)
 	ccfg.MaxRuns = cfg.CampaignRuns
 	ccfg.MaxPacketsPerRun = job.MaxPackets
-	report, err := campaign.New(r.client, r.dev, ccfg).Run()
+	report, err := campaign.New(r.Client, r.Device, ccfg).Run()
 	if err != nil {
 		res.Err = err
 		return

@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// EventType discriminates farm events.
+type EventType int
+
+// The farm event types, in the order a single job emits them.
+const (
+	// EventJobStarted fires when a worker picks a job off the feed.
+	EventJobStarted EventType = iota + 1
+	// EventJobDone fires after a job's result is folded into the
+	// aggregate; Event.Result carries it.
+	EventJobDone
+	// EventNewFinding fires, after its job's EventJobDone, for every
+	// finding signature the farm had not seen before that job;
+	// Event.Finding carries the farm-wide record as of that moment.
+	EventNewFinding
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventJobStarted:
+		return "JobStarted"
+	case EventJobDone:
+		return "JobDone"
+	case EventNewFinding:
+		return "NewFinding"
+	default:
+		return "Unknown"
+	}
+}
+
+// Event is one entry of a farm's progress stream.
+type Event struct {
+	// Type says what happened.
+	Type EventType
+	// Job is the matrix cell the event concerns.
+	Job Job
+	// Result is the job's outcome; EventJobDone only.
+	Result *JobResult
+	// Finding is the new de-duplicated finding; EventNewFinding only.
+	Finding *FindingRecord
+	// Done and Total report farm progress at emission time: completed
+	// jobs so far versus matrix size.
+	Done, Total int
+}
+
+// Farm is a running fuzzing farm: the worker pool executes the job
+// matrix while the farm emits Events and keeps a live aggregate that
+// can be snapshotted at any moment.
+//
+// The consumer contract: drain Events() — the channel is unbuffered,
+// so workers pause at emission until the consumer keeps up, and the
+// stream closes once every job is done. Wait drains whatever the
+// consumer has not read, so "start, range over Events, Wait" and
+// "start, Wait" both terminate.
+type Farm struct {
+	cfg    Config
+	total  int
+	agg    *Aggregator
+	events chan Event
+	start  time.Time
+
+	// emitMu serializes fold-and-emit so event order, Done counts and
+	// the aggregate all advance consistently.
+	emitMu sync.Mutex
+	done   int
+}
+
+// Start validates the matrix and launches the farm: cfg.Workers workers
+// over the job matrix, results folded into a live Aggregator as they
+// arrive. The error covers matrix validation only.
+func Start(cfg Config) (*Farm, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	jobs := buildJobs(cfg)
+	f := &Farm{
+		cfg:    cfg,
+		total:  len(jobs),
+		agg:    newAggregator(cfg, len(jobs)),
+		events: make(chan Event),
+		start:  time.Now(),
+	}
+
+	feed := make(chan Job)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range feed {
+				f.emitStarted(job)
+				f.finish(runJob(cfg, job))
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			feed <- j
+		}
+		close(feed)
+	}()
+	go func() {
+		wg.Wait()
+		close(f.events)
+	}()
+	return f, nil
+}
+
+// Events returns the farm's progress stream. The channel closes after
+// the last job's events are delivered.
+func (f *Farm) Events() <-chan Event { return f.events }
+
+// emitStarted announces a job pick-up.
+func (f *Farm) emitStarted(job Job) {
+	f.emitMu.Lock()
+	defer f.emitMu.Unlock()
+	f.events <- Event{Type: EventJobStarted, Job: job, Done: f.done, Total: f.total}
+}
+
+// finish folds one result and emits its JobDone and NewFinding events.
+func (f *Farm) finish(res JobResult) {
+	f.emitMu.Lock()
+	defer f.emitMu.Unlock()
+	fresh := f.agg.Add(res)
+	f.done++
+	f.events <- Event{Type: EventJobDone, Job: res.Job, Result: &res, Done: f.done, Total: f.total}
+	for i := range fresh {
+		f.events <- Event{Type: EventNewFinding, Job: res.Job, Finding: &fresh[i], Done: f.done, Total: f.total}
+	}
+}
+
+// Snapshot reports the farm's aggregate at this moment: completed jobs,
+// de-duplicated findings and merged metrics so far. Safe to call from
+// any goroutine while the farm runs.
+func (f *Farm) Snapshot() *Report {
+	rep := f.agg.Snapshot()
+	rep.Wall = time.Since(f.start)
+	return rep
+}
+
+// Wait blocks until every job has finished — draining any events the
+// consumer left unread — and returns the farm's final report.
+func (f *Farm) Wait() *Report {
+	for range f.events {
+		// Discard: aggregation happens on the worker side, so unread
+		// events carry no information the final snapshot lacks.
+	}
+	return f.Snapshot()
+}

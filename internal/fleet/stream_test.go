@@ -1,0 +1,215 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestStreamingMatchesBatch is the tentpole acceptance criterion: the
+// same matrix consumed via the event stream then snapshotted must equal
+// the batch Run report — byte-identical once rendered — at one worker
+// and at eight.
+func TestStreamingMatchesBatch(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		batch, err := Run(fullMatrix(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		farm, err := Start(fullMatrix(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for range farm.Events() {
+			// Drain: the stream is the only signal a streaming consumer
+			// gets; aggregation must not depend on what it does with it.
+		}
+		streamed := farm.Wait()
+
+		batch.Wall, streamed.Wall = 0, 0
+		if !reflect.DeepEqual(batch, streamed) {
+			t.Errorf("workers=%d: streamed report differs from batch report", workers)
+		}
+		if b, s := batch.Render(), streamed.Render(); b != s {
+			t.Errorf("workers=%d: rendered reports differ:\nbatch:\n%s\nstreamed:\n%s", workers, b, s)
+		}
+	}
+}
+
+// TestEventStreamShape pins the stream contract: one JobStarted and one
+// JobDone per matrix job, JobDone progress counts serialized 1..n, and
+// exactly one NewFinding per de-duplicated finding of the final report.
+func TestEventStreamShape(t *testing.T) {
+	farm, err := Start(fullMatrix(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	started, done, findings := 0, 0, 0
+	for ev := range farm.Events() {
+		if ev.Total != farm.total {
+			t.Fatalf("event Total = %d, want %d", ev.Total, farm.total)
+		}
+		switch ev.Type {
+		case EventJobStarted:
+			started++
+		case EventJobDone:
+			done++
+			if ev.Done != done {
+				t.Fatalf("JobDone progress %d at consumption position %d", ev.Done, done)
+			}
+			if ev.Result == nil || ev.Result.Job != ev.Job {
+				t.Fatalf("JobDone without its result: %+v", ev)
+			}
+		case EventNewFinding:
+			findings++
+			if ev.Finding == nil {
+				t.Fatalf("NewFinding without a finding: %+v", ev)
+			}
+		}
+	}
+	rep := farm.Wait()
+	if started != len(rep.Jobs) || done != len(rep.Jobs) {
+		t.Errorf("started/done events = %d/%d, want %d each", started, done, len(rep.Jobs))
+	}
+	if findings != len(rep.Findings) {
+		t.Errorf("%d NewFinding events for %d de-duplicated findings", findings, len(rep.Findings))
+	}
+	if len(rep.Findings) == 0 {
+		t.Error("matrix produced no findings; the NewFinding check would be vacuous")
+	}
+}
+
+// TestLiveSnapshot takes a snapshot mid-stream and checks it is a
+// consistent partial report that the final report extends.
+func TestLiveSnapshot(t *testing.T) {
+	farm, err := Start(fullMatrix(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := farm.Events()
+	var mid *Report
+	for ev := range events {
+		if ev.Type == EventJobDone {
+			mid = farm.Snapshot()
+			break
+		}
+	}
+	if mid == nil {
+		t.Fatal("stream ended without a JobDone event")
+	}
+	if got := mid.Completed + mid.Failed; got < 1 || got > farm.total {
+		t.Errorf("mid-stream snapshot folded %d jobs, want within [1, %d]", got, farm.total)
+	}
+	if mid.Render() == "" {
+		t.Error("mid-stream snapshot does not render")
+	}
+	final := farm.Wait()
+	if final.Completed+final.Failed != farm.total {
+		t.Errorf("final report folded %d jobs, want %d", final.Completed+final.Failed, farm.total)
+	}
+	if mid.TotalPackets > final.TotalPackets {
+		t.Errorf("snapshot packets %d exceed final %d", mid.TotalPackets, final.TotalPackets)
+	}
+}
+
+// TestAggregatorFoldOrderIndependence feeds the same results to two
+// aggregators in opposite orders: the snapshots must be identical,
+// which is what makes the streaming farm scheduling-independent.
+func TestAggregatorFoldOrderIndependence(t *testing.T) {
+	rep, err := Run(fullMatrix(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward, err := NewAggregator(fullMatrix(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backward, err := NewAggregator(fullMatrix(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := NewAggregator(fullMatrix(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Jobs {
+		forward.Add(res)
+	}
+	for i := len(rep.Jobs) - 1; i >= 0; i-- {
+		backward.Add(rep.Jobs[i])
+	}
+	for _, i := range rand.New(rand.NewSource(1)).Perm(len(rep.Jobs)) {
+		shuffled.Add(rep.Jobs[i])
+	}
+	a, b, c := forward.Snapshot(), backward.Snapshot(), shuffled.Snapshot()
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+		t.Error("aggregator snapshots depend on fold order")
+	}
+	rep.Wall = 0
+	if !reflect.DeepEqual(a, rep) {
+		t.Error("re-folded snapshot differs from the original report")
+	}
+}
+
+// TestAggregatorIgnoresDuplicateAndForeignResults: a result folded
+// twice, or one whose index falls outside the matrix, must not skew the
+// aggregate.
+func TestAggregatorIgnoresDuplicateAndForeignResults(t *testing.T) {
+	rep, err := Run(Config{
+		Devices:          []string{"D4"},
+		Kinds:            []Kind{KindBSS},
+		BaseSeed:         1,
+		Workers:          1,
+		MaxPacketsPerJob: 2_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := NewAggregator(Config{
+		Devices:          []string{"D4"},
+		Kinds:            []Kind{KindBSS},
+		BaseSeed:         1,
+		Workers:          1,
+		MaxPacketsPerJob: 2_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Jobs[0]
+	agg.Add(res)
+	agg.Add(res) // duplicate
+	foreign := res
+	foreign.Job.Index = 99
+	agg.Add(foreign) // outside the 1-job matrix
+	snap := agg.Snapshot()
+	if snap.Completed != 1 || snap.TotalPackets != res.PacketsSent {
+		t.Errorf("duplicate/foreign folds skewed the aggregate: %+v", snap)
+	}
+}
+
+// TestJobSeedNonNegative pins the sign-bit mask: even when the mixing
+// lands exactly on math.MinInt64 — where negation would stay negative —
+// the derived seed is non-negative.
+func TestJobSeedNonNegative(t *testing.T) {
+	// Reconstruct the device/kind hash so the base can be chosen to make
+	// the mix land exactly on math.MinInt64 at shard 0.
+	h := fnv.New64a()
+	h.Write([]byte("D1"))
+	h.Write([]byte{0})
+	h.Write([]byte(KindL2Fuzz))
+	mixPart := int64(h.Sum64() & 0x7FFF_FFFF_FFFF_FFFF)
+
+	adversarial := math.MinInt64 ^ mixPart
+	if got := jobSeed(adversarial, "D1", KindL2Fuzz, 0); got < 0 {
+		t.Errorf("jobSeed(MinInt64 mix) = %d, want non-negative", got)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		base := int64(rng.Uint64())
+		if got := jobSeed(base, "D1", KindL2Fuzz, i%5); got < 0 {
+			t.Errorf("jobSeed(%d, shard %d) = %d, want non-negative", base, i%5, got)
+		}
+	}
+}

@@ -19,8 +19,6 @@ package harness
 import (
 	"fmt"
 
-	"l2fuzz/internal/bt/device"
-	"l2fuzz/internal/bt/host"
 	"l2fuzz/internal/bt/radio"
 	"l2fuzz/internal/core"
 	"l2fuzz/internal/fuzzers"
@@ -28,10 +26,8 @@ import (
 	"l2fuzz/internal/fuzzers/bss"
 	"l2fuzz/internal/fuzzers/defensics"
 	"l2fuzz/internal/metrics"
+	"l2fuzz/internal/testbed"
 )
-
-// testerAddr is the tester machine's dongle address.
-var testerAddr = radio.MustBDAddr("00:1B:DC:F0:00:01")
 
 // FuzzerName enumerates the compared fuzzers.
 type FuzzerName string
@@ -50,35 +46,13 @@ func AllFuzzerNames() []FuzzerName {
 }
 
 // Rig is one measurement setup: a fresh medium, a target device, a tester
-// client and a sniffer.
-type Rig struct {
-	Medium  *radio.Medium
-	Device  *device.Device
-	Client  *host.Client
-	Sniffer *metrics.Sniffer
-}
+// client and a sniffer. It is the shared testbed rig; the harness and
+// the fleet both build theirs through internal/testbed.
+type Rig = testbed.Rig
 
 // NewRig builds a rig for the given catalog device.
 func NewRig(deviceID string, disableVulns bool) (*Rig, error) {
-	entry, err := device.CatalogEntryByID(deviceID, disableVulns)
-	if err != nil {
-		return nil, err
-	}
-	m := radio.NewMedium(nil, radio.DefaultTiming())
-	dev, err := device.New(m, entry.Config)
-	if err != nil {
-		return nil, fmt.Errorf("harness: %w", err)
-	}
-	cl, err := host.NewClient(m, testerAddr, "test-machine")
-	if err != nil {
-		return nil, fmt.Errorf("harness: %w", err)
-	}
-	return &Rig{
-		Medium:  m,
-		Device:  dev,
-		Client:  cl,
-		Sniffer: metrics.NewSniffer(m, testerAddr),
-	}, nil
+	return testbed.New(deviceID, testbed.Options{DisableVulns: disableVulns})
 }
 
 // l2fuzzAdapter gives the core fuzzer the baseline interface.

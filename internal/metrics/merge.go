@@ -9,10 +9,9 @@ package metrics
 // parallel farm's wall-clock speedup is measured separately, against
 // real time).
 //
-// StatesCovered is a count, not a set, so the union is not recoverable
-// here: the merge keeps the larger count as a lower bound. Callers that
-// hold the underlying visited-state sets (the fleet aggregator does)
-// should overwrite it with the size of the true union.
+// State coverage merges exactly: the summaries carry their visited-state
+// sets, so the merged States is the set union and StatesCovered its
+// size.
 func (s Summary) Merge(o Summary) Summary {
 	m := Summary{
 		Transmitted: s.Transmitted + o.Transmitted,
@@ -32,8 +31,36 @@ func (s Summary) Merge(o Summary) Summary {
 	if span := m.Span.Seconds(); span > 0 {
 		m.PacketsPerSecond = float64(m.Transmitted) / span
 	}
-	m.StatesCovered = max(s.StatesCovered, o.StatesCovered)
+	m.States = unionSorted(s.States, o.States)
+	m.StatesCovered = len(m.States)
 	return m
+}
+
+// unionSorted merges two sorted unique string slices into a fresh sorted
+// unique slice, or nil when both are empty.
+func unionSorted(a, b []string) []string {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // MergeAll folds any number of summaries with Merge. An empty slice

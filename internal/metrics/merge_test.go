@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -10,12 +11,14 @@ func TestMergeCountersAndRatios(t *testing.T) {
 	a := Summary{
 		Transmitted: 100, Malformed: 70, InvalidTx: 2,
 		Received: 80, Rejections: 20,
-		Span: 2 * time.Second, StatesCovered: 13,
+		Span:   2 * time.Second,
+		States: []string{"CLOSED", "OPEN", "WAIT_CONNECT"}, StatesCovered: 3,
 	}
 	b := Summary{
 		Transmitted: 300, Malformed: 30, InvalidTx: 1,
 		Received: 120, Rejections: 80,
-		Span: 6 * time.Second, StatesCovered: 6,
+		Span:   6 * time.Second,
+		States: []string{"CLOSED", "WAIT_CONFIG"}, StatesCovered: 2,
 	}
 	m := a.Merge(b)
 
@@ -40,8 +43,30 @@ func TestMergeCountersAndRatios(t *testing.T) {
 	if want := 400.0 / 8.0; math.Abs(m.PacketsPerSecond-want) > 1e-12 {
 		t.Errorf("PacketsPerSecond = %v, want %v", m.PacketsPerSecond, want)
 	}
-	if m.StatesCovered != 13 {
-		t.Errorf("StatesCovered = %d, want the lower-bound max 13", m.StatesCovered)
+	wantStates := []string{"CLOSED", "OPEN", "WAIT_CONFIG", "WAIT_CONNECT"}
+	if !reflect.DeepEqual(m.States, wantStates) {
+		t.Errorf("States = %v, want the exact union %v", m.States, wantStates)
+	}
+	if m.StatesCovered != 4 {
+		t.Errorf("StatesCovered = %d, want the exact union size 4", m.StatesCovered)
+	}
+}
+
+// TestMergeUnionsOverlappingStateSetsExactly pins the exact-union
+// semantics: overlapping sets must merge to their union, not to the
+// larger count, in either merge order.
+func TestMergeUnionsOverlappingStateSetsExactly(t *testing.T) {
+	a := Summary{States: []string{"CLOSED", "OPEN", "WAIT_CONFIG"}, StatesCovered: 3}
+	b := Summary{States: []string{"OPEN", "WAIT_CONNECT", "WAIT_DISCONNECT"}, StatesCovered: 3}
+	want := []string{"CLOSED", "OPEN", "WAIT_CONFIG", "WAIT_CONNECT", "WAIT_DISCONNECT"}
+
+	for _, m := range []Summary{a.Merge(b), b.Merge(a)} {
+		if !reflect.DeepEqual(m.States, want) {
+			t.Errorf("union = %v, want %v", m.States, want)
+		}
+		if m.StatesCovered != len(want) {
+			t.Errorf("StatesCovered = %d, want %d", m.StatesCovered, len(want))
+		}
 	}
 }
 
@@ -50,20 +75,21 @@ func TestMergeZeroIsIdentity(t *testing.T) {
 	// floating-point values a further merge would recompute.
 	a := Summary{
 		Transmitted: 100, Malformed: 70, Received: 80, Rejections: 20,
-		Span: 2 * time.Second, StatesCovered: 4,
+		Span:   2 * time.Second,
+		States: []string{"CLOSED", "OPEN"}, StatesCovered: 2,
 	}.Merge(Summary{})
 	got := a.Merge(Summary{})
-	if got != a {
+	if !reflect.DeepEqual(got, a) {
 		t.Errorf("a.Merge(zero) = %+v, want %+v", got, a)
 	}
 	got = Summary{}.Merge(a)
-	if got != a {
+	if !reflect.DeepEqual(got, a) {
 		t.Errorf("zero.Merge(a) = %+v, want %+v", got, a)
 	}
 }
 
 func TestMergeAll(t *testing.T) {
-	if got := MergeAll(nil); got != (Summary{}) {
+	if got := MergeAll(nil); !reflect.DeepEqual(got, Summary{}) {
 		t.Errorf("MergeAll(nil) = %+v, want zero", got)
 	}
 	sums := []Summary{
@@ -80,17 +106,18 @@ func TestMergeAll(t *testing.T) {
 	}
 }
 
-// TestMergeMatchesSingleCapture cross-checks Merge against the sniffer:
-// splitting one logical experiment into two sequential summaries and
-// merging them must reproduce the counter arithmetic a single summary
-// over both halves would show.
+// TestMergeAssociative: splitting one logical experiment into three
+// summaries must merge to the same result however the folds associate.
 func TestMergeAssociative(t *testing.T) {
-	a := Summary{Transmitted: 7, Malformed: 3, Received: 5, Rejections: 1, Span: time.Second, StatesCovered: 2}
-	b := Summary{Transmitted: 11, Malformed: 4, Received: 9, Rejections: 6, Span: 3 * time.Second, StatesCovered: 5}
-	c := Summary{Transmitted: 13, Malformed: 8, Received: 2, Rejections: 0, Span: 2 * time.Second, StatesCovered: 3}
+	a := Summary{Transmitted: 7, Malformed: 3, Received: 5, Rejections: 1, Span: time.Second,
+		States: []string{"CLOSED", "OPEN"}, StatesCovered: 2}
+	b := Summary{Transmitted: 11, Malformed: 4, Received: 9, Rejections: 6, Span: 3 * time.Second,
+		States: []string{"OPEN", "WAIT_CONFIG", "WAIT_CONNECT"}, StatesCovered: 3}
+	c := Summary{Transmitted: 13, Malformed: 8, Received: 2, Rejections: 0, Span: 2 * time.Second,
+		States: []string{"CLOSED", "WAIT_MOVE"}, StatesCovered: 2}
 	left := a.Merge(b).Merge(c)
 	right := a.Merge(b.Merge(c))
-	if left != right {
+	if !reflect.DeepEqual(left, right) {
 		t.Errorf("merge not associative:\n left = %+v\nright = %+v", left, right)
 	}
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"sort"
 	"time"
 
 	"l2fuzz/internal/bt/hci"
@@ -45,6 +46,12 @@ type Sniffer struct {
 	allocated map[l2cap.CID]bool
 	pendingTx map[uint8]l2cap.CommandCode // tester request id → code
 
+	// rejectedByCode correlates received Command Reject packets back to
+	// the command code of the tester request they answered (matched via
+	// pendingTx by signaling identifier). Rejects whose identifier
+	// matches no observed request land under code 0.
+	rejectedByCode map[l2cap.CommandCode]int
+
 	states *StateInferencer
 }
 
@@ -54,11 +61,12 @@ type dirKey struct{ from, to radio.BDAddr }
 // the tester and everything else.
 func NewSniffer(m *radio.Medium, tester radio.BDAddr) *Sniffer {
 	s := &Sniffer{
-		tester:    tester,
-		reasm:     make(map[dirKey]*hci.Reassembler),
-		allocated: make(map[l2cap.CID]bool),
-		pendingTx: make(map[uint8]l2cap.CommandCode),
-		states:    NewStateInferencer(),
+		tester:         tester,
+		reasm:          make(map[dirKey]*hci.Reassembler),
+		allocated:      make(map[l2cap.CID]bool),
+		pendingTx:      make(map[uint8]l2cap.CommandCode),
+		rejectedByCode: make(map[l2cap.CommandCode]int),
+		states:         NewStateInferencer(),
 	}
 	m.AddTap(s.onFrame)
 	return s
@@ -112,6 +120,11 @@ func (s *Sniffer) onTx(raw []byte) {
 		s.invalidTx++
 		return
 	}
+	// One malformed verdict per packet at most, but every decodable
+	// frame still feeds the state inferencer: BR/EDR packs several
+	// commands into one C-frame, and a malformed first command must not
+	// hide the later ones from the coverage accounting.
+	verdict := false
 	for _, fr := range frames {
 		cmd, err := l2cap.DecodeCommand(fr)
 		if err != nil {
@@ -120,9 +133,9 @@ func (s *Sniffer) onTx(raw []byte) {
 		}
 		s.pendingTx[fr.Identifier] = fr.Code
 		s.states.ObserveTx(fr, cmd, s.allocated)
-		if s.isMalformed(fr, cmd) {
+		if !verdict && s.isMalformed(fr, cmd) {
 			s.malformed++
-			return // one malformed verdict per packet
+			verdict = true
 		}
 	}
 }
@@ -168,6 +181,9 @@ func (s *Sniffer) onRx(raw []byte) {
 	if err != nil {
 		return
 	}
+	// As on the Tx side: one rejection verdict per packet, every frame
+	// observed.
+	verdict := false
 	for _, fr := range frames {
 		cmd, err := l2cap.DecodeCommand(fr)
 		if err != nil {
@@ -176,10 +192,23 @@ func (s *Sniffer) onRx(raw []byte) {
 		s.trackAllocations(cmd)
 		s.states.ObserveRx(fr, cmd)
 		if isRejection(cmd) {
-			s.rejections++
-			return // one rejection verdict per packet
+			s.correlateReject(fr)
+			if !verdict {
+				s.rejections++
+				verdict = true
+			}
 		}
 	}
+}
+
+// correlateReject attributes one received Command Reject to the tester
+// request it answers, by signaling identifier.
+func (s *Sniffer) correlateReject(fr l2cap.Frame) {
+	code, ok := s.pendingTx[fr.Identifier]
+	if ok {
+		delete(s.pendingTx, fr.Identifier)
+	}
+	s.rejectedByCode[code]++ // code is 0 for unmatched rejects
 }
 
 // trackAllocations learns legitimate channel endpoints from responses.
@@ -231,7 +260,12 @@ type Summary struct {
 	PacketsPerSecond float64
 	// Span is the simulated capture span (first to last observed frame).
 	Span time.Duration
-	// StatesCovered is the trace-inferred state coverage.
+	// States is the trace-inferred visited-state set, as sorted state
+	// names. Carrying the set (not just its size) lets Merge union
+	// coverage exactly across independent captures.
+	States []string
+	// StatesCovered is len(States), kept as a field for rendering and
+	// comparison convenience.
 	StatesCovered int
 }
 
@@ -255,8 +289,27 @@ func (s *Sniffer) Summary() Summary {
 	if span := sum.Span.Seconds(); span > 0 {
 		sum.PacketsPerSecond = float64(s.transmitted) / span
 	}
-	sum.StatesCovered = len(s.states.Visited())
+	for _, st := range s.states.Visited() {
+		sum.States = append(sum.States, st.String())
+	}
+	sort.Strings(sum.States)
+	sum.StatesCovered = len(sum.States)
 	return sum
+}
+
+// RejectionsByCode returns, per tester command code, how many received
+// Command Reject frames answered a request of that code (matched by
+// signaling identifier). Rejects whose identifier matched no observed
+// request are keyed under code 0. The attribution is per frame, so a
+// packet packing several Command Rejects contributes each of them and
+// the totals can exceed Summary.Rejections, which stays one verdict
+// per packet.
+func (s *Sniffer) RejectionsByCode() map[l2cap.CommandCode]int {
+	out := make(map[l2cap.CommandCode]int, len(s.rejectedByCode))
+	for code, n := range s.rejectedByCode {
+		out[code] = n
+	}
+	return out
 }
 
 // MPSeries returns the cumulative malformed-vs-transmitted series sampled

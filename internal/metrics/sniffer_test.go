@@ -253,6 +253,61 @@ func TestStateInferenceLockstep(t *testing.T) {
 	_ = d
 }
 
+// TestSnifferObservesEveryFrameOfPackedPacket sends one signaling
+// packet packing two commands — a malformed connect followed by a
+// well-formed disconnect — and checks that the malformed verdict stays
+// one-per-packet while the state inferencer still sees the later frame
+// (the disconnect is the only way WAIT_DISCONNECT enters the trace).
+func TestSnifferObservesEveryFrameOfPackedPacket(t *testing.T) {
+	cl, d, s := snifferRig(t)
+	local, remote, err := cl.OpenChannel(d.Address(), l2cap.PSMAVDTP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Summary()
+
+	bad := l2cap.EncodeFrame(0x41, &l2cap.ConnectionReq{PSM: 0x0101, SCID: 0x0060}, nil)
+	disc := l2cap.EncodeFrame(0x42, &l2cap.DisconnectionReq{DCID: remote, SCID: local}, nil)
+	payload := append(bad.Marshal(), disc.Marshal()...)
+	if err := cl.Send(d.Address(), l2cap.NewPacket(l2cap.CIDSignaling, payload)); err != nil {
+		t.Fatal(err)
+	}
+
+	sum := s.Summary()
+	if got := sum.Malformed - before.Malformed; got != 1 {
+		t.Errorf("packed packet produced %d malformed verdicts, want 1", got)
+	}
+	found := false
+	for _, st := range sum.States {
+		if st == sm.StateWaitDisconnect.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("disconnect frame after the malformed one not observed; states = %v", sum.States)
+	}
+}
+
+// TestSnifferCorrelatesRejectsToRequestCode checks the pendingTx map
+// does its job: a Command Reject is attributed to the code of the
+// request whose identifier it echoes.
+func TestSnifferCorrelatesRejectsToRequestCode(t *testing.T) {
+	cl, d, s := snifferRig(t)
+	if _, err := cl.SendCommand(d.Address(), &l2cap.MoveChannelReq{ICID: 0x7777}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sum := s.Summary(); sum.Rejections != 1 {
+		t.Fatalf("Rejections = %d, want 1 (invalid-CID move)", sum.Rejections)
+	}
+	byCode := s.RejectionsByCode()
+	if byCode[l2cap.CodeMoveChannelReq] != 1 {
+		t.Errorf("RejectionsByCode = %v, want 1 under CodeMoveChannelReq", byCode)
+	}
+	if n := byCode[0]; n != 0 {
+		t.Errorf("%d rejects left uncorrelated: %v", n, byCode)
+	}
+}
+
 func TestSnifferIgnoresThirdPartyTraffic(t *testing.T) {
 	m := radio.NewMedium(nil, radio.DefaultTiming())
 	tester := radio.MustBDAddr("00:1B:DC:00:00:01")

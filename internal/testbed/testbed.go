@@ -1,0 +1,96 @@
+// Package testbed builds the standard single-target measurement rig —
+// a fresh radio medium, one catalog target device, a tester client and
+// a Wireshark-style trace sniffer — shared by the evaluation harness
+// and the fleet orchestrator so the two layers cannot drift apart in
+// how they wire a testbed.
+package testbed
+
+import (
+	"fmt"
+
+	"l2fuzz/internal/bt/device"
+	"l2fuzz/internal/bt/host"
+	"l2fuzz/internal/bt/l2cap"
+	"l2fuzz/internal/bt/radio"
+	"l2fuzz/internal/bt/rfcomm"
+	"l2fuzz/internal/metrics"
+)
+
+// TesterAddr is the tester endpoint's fixed address: the analogue of
+// the paper's Ubuntu machine with a Class-1 dongle.
+var TesterAddr = radio.MustBDAddr("00:1B:DC:F0:00:01")
+
+// Rig is one measurement setup: a fresh medium, a target device, a
+// tester client and a sniffer.
+type Rig struct {
+	Medium  *radio.Medium
+	Device  *device.Device
+	Client  *host.Client
+	Sniffer *metrics.Sniffer
+}
+
+// Options selects the rig variant.
+type Options struct {
+	// DisableVulns builds the target measurement-grade: catalog defects
+	// disabled, as the paper's 100,000-packet measurements require the
+	// device to survive.
+	DisableVulns bool
+	// RFCOMM prepares the target for RFCOMM fuzzing: the RFCOMM port is
+	// opened pairing-free, the standard serial services are mounted,
+	// and — unless DisableVulns is set — devices the paper found
+	// vulnerable also carry the reserved-DLCI mux defect.
+	RFCOMM bool
+	// TesterName names the tester endpoint; empty means "test-machine".
+	TesterName string
+}
+
+// New builds a rig for the given catalog device ("D1".."D8").
+func New(deviceID string, opts Options) (*Rig, error) {
+	entry, err := device.CatalogEntryByID(deviceID, opts.DisableVulns)
+	if err != nil {
+		return nil, err
+	}
+	dcfg := entry.Config
+	if opts.RFCOMM {
+		dcfg.Ports = rfcommPorts(dcfg.Ports)
+		dcfg.RFCOMMServices = []rfcomm.Service{
+			{Channel: 1, Name: "Serial Port Profile"},
+			{Channel: 2, Name: "Hands-Free"},
+		}
+		if entry.ExpectVuln && !opts.DisableVulns {
+			dcfg.RFCOMMDefect = rfcomm.ReservedDLCIDefect()
+		}
+	}
+	name := opts.TesterName
+	if name == "" {
+		name = "test-machine"
+	}
+	m := radio.NewMedium(nil, radio.DefaultTiming())
+	dev, err := device.New(m, dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	cl, err := host.NewClient(m, TesterAddr, name)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	return &Rig{
+		Medium:  m,
+		Device:  dev,
+		Client:  cl,
+		Sniffer: metrics.NewSniffer(m, TesterAddr),
+	}, nil
+}
+
+// rfcommPorts rewrites a port list so the RFCOMM port exists and is
+// reachable without pairing.
+func rfcommPorts(ports []device.ServicePort) []device.ServicePort {
+	out := append([]device.ServicePort(nil), ports...)
+	for i, p := range out {
+		if p.PSM == l2cap.PSMRFCOMM {
+			out[i].RequiresPairing = false
+			return out
+		}
+	}
+	return append(out, device.ServicePort{PSM: l2cap.PSMRFCOMM, Name: "RFCOMM"})
+}

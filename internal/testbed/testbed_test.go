@@ -1,0 +1,47 @@
+package testbed
+
+import (
+	"testing"
+
+	"l2fuzz/internal/bt/l2cap"
+)
+
+func TestNewBuildsWorkingRig(t *testing.T) {
+	rig, err := New("D2", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.Client.Connect(rig.Device.Address()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.Client.Ping(rig.Device.Address()); err != nil {
+		t.Fatal(err)
+	}
+	if sum := rig.Sniffer.Summary(); sum.Transmitted == 0 {
+		t.Error("sniffer not tapping the rig's medium")
+	}
+}
+
+func TestNewRejectsUnknownDevice(t *testing.T) {
+	if _, err := New("D99", Options{}); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+// TestRFCOMMOptionOpensPort checks the RFCOMM variant: the port must be
+// present and reachable without pairing on every catalog device.
+func TestRFCOMMOptionOpensPort(t *testing.T) {
+	rig, err := New("D4", Options{RFCOMM: true, DisableVulns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rig.Device.Ports() {
+		if p.PSM == l2cap.PSMRFCOMM {
+			if p.RequiresPairing {
+				t.Error("RFCOMM port still requires pairing")
+			}
+			return
+		}
+	}
+	t.Error("RFCOMM port not mounted")
+}

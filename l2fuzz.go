@@ -40,6 +40,19 @@
 //	})
 //	...
 //	fmt.Println(report.Render()) // per-device/per-fuzzer farm report
+//
+// For long unattended farms, StartFleet exposes the streaming core
+// underneath RunFleet: an event stream of job starts, job completions
+// and findings as they land, plus live mid-run report snapshots:
+//
+//	farm, err := l2fuzz.StartFleet(cfg)
+//	...
+//	for ev := range farm.Events() {
+//	    if ev.Type == l2fuzz.FleetNewFinding {
+//	        fmt.Println("found:", ev.Finding.Signature)
+//	    }
+//	}
+//	report := farm.Wait()
 package l2fuzz
 
 import (
@@ -110,6 +123,28 @@ type (
 	FleetFinding = fleet.FindingRecord
 	// FleetKind selects the fuzzer a farm job runs.
 	FleetKind = fleet.Kind
+	// FleetFarm is a running farm: an event stream plus live report
+	// snapshots.
+	FleetFarm = fleet.Farm
+	// FleetEvent is one entry of a farm's progress stream.
+	FleetEvent = fleet.Event
+	// FleetEventType discriminates farm events.
+	FleetEventType = fleet.EventType
+	// FleetAggregator folds farm job results incrementally and
+	// snapshots full reports at any moment.
+	FleetAggregator = fleet.Aggregator
+)
+
+// The farm event types.
+const (
+	// FleetJobStarted fires when a worker picks up a job.
+	FleetJobStarted = fleet.EventJobStarted
+	// FleetJobDone fires when a job's result is folded into the farm
+	// aggregate.
+	FleetJobDone = fleet.EventJobDone
+	// FleetNewFinding fires for every finding signature the farm had
+	// not seen before.
+	FleetNewFinding = fleet.EventNewFinding
 )
 
 // The schedulable farm job kinds: the paper's four compared fuzzers
@@ -134,6 +169,17 @@ func FleetKinds() []FleetKind { return fleet.AllKinds() }
 // job failures are recorded in the report.
 func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 	return fleet.Run(cfg)
+}
+
+// StartFleet launches a fuzzing farm and returns it streaming: the
+// farm's Events channel announces job starts, job completions and
+// de-duplicated findings as they land, Snapshot renders the aggregate
+// mid-run, and Wait returns the final report. RunFleet is this plus a
+// drain loop — the two share one aggregation path, so a streamed farm
+// and a batch farm over the same matrix agree exactly. The consumer
+// must drain Events (or call Wait, which drains the rest).
+func StartFleet(cfg FleetConfig) (*FleetFarm, error) {
+	return fleet.Start(cfg)
 }
 
 // Connection-error classes (paper §III-E).

@@ -253,3 +253,47 @@ func TestTriageThroughPublicAPI(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetStreamingThroughPublicAPI checks the streamed farm exposed
+// by StartFleet agrees with the batch RunFleet over the same matrix,
+// and that findings arrive as FleetNewFinding events.
+func TestFleetStreamingThroughPublicAPI(t *testing.T) {
+	cfg := l2fuzz.FleetConfig{
+		Devices:          []string{"D2", "D5"},
+		Kinds:            []l2fuzz.FleetKind{l2fuzz.FleetL2Fuzz, l2fuzz.FleetRFCOMM},
+		BaseSeed:         7,
+		Workers:          4,
+		MaxPacketsPerJob: 20_000,
+	}
+	batch, err := l2fuzz.RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm, err := l2fuzz.StartFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []l2fuzz.FleetFinding
+	for ev := range farm.Events() {
+		if ev.Type == l2fuzz.FleetNewFinding {
+			live = append(live, *ev.Finding)
+		}
+	}
+	streamed := farm.Wait()
+
+	batch.Wall, streamed.Wall = 0, 0
+	if b, s := batch.Render(), streamed.Render(); b != s {
+		t.Errorf("streamed farm disagrees with batch farm:\nbatch:\n%s\nstreamed:\n%s", b, s)
+	}
+	if len(live) != len(streamed.Findings) {
+		t.Errorf("%d NewFinding events for %d report findings", len(live), len(streamed.Findings))
+	}
+	if len(streamed.Findings) == 0 {
+		t.Error("matrix produced no findings; the event check would be vacuous")
+	}
+	if streamed.Metrics.StatesCovered != len(streamed.Metrics.States) ||
+		len(streamed.StateCoverage) != streamed.Metrics.StatesCovered {
+		t.Errorf("state coverage inconsistent: %d / %v / %v",
+			streamed.Metrics.StatesCovered, streamed.Metrics.States, streamed.StateCoverage)
+	}
+}
