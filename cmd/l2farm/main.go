@@ -1,6 +1,7 @@
 // Command l2farm runs a parallel fuzzing farm over the simulated
 // Bluetooth testbed: a job matrix of catalog devices × fuzzer kinds ×
-// seed shards executed on a bounded worker pool.
+// configuration variants × seed shards executed on a bounded worker
+// pool.
 //
 // The farm is consumed through its event stream (StartFleet): every
 // JobDone event becomes a progress line, and with -stream every
@@ -9,11 +10,20 @@
 // unattended farms, where waiting for the end-of-run report is not an
 // option. The final farm report is rendered either way.
 //
+// The -ablations flag adds the variant axis: a comma-separated subset
+// of the paper's §IV-D ablation grid (baseline, no-state-guiding,
+// all-fields, no-garbage) or "all" for the whole grid, every variant
+// run for every (device, fuzzer) cell and broken out in the report's
+// per-variant table. The -budget flag (repeatable) overrides the
+// per-job packet budget for a single device, spending the farm's time
+// where the devices need it.
+//
 // Usage:
 //
 //	l2farm [-devices all|D1,D2,...] [-fuzzers l2fuzz,defensics,bfuzz,bss,rfcomm,campaign]
+//	       [-ablations all|baseline,no-state-guiding,all-fields,no-garbage]
 //	       [-shards 1] [-workers 0] [-seed 1] [-max-packets 250000]
-//	       [-measure] [-quiet] [-stream] [-dump]
+//	       [-budget D3=500000]... [-measure] [-quiet] [-stream] [-dump]
 //
 // Examples:
 //
@@ -21,12 +31,15 @@
 //	l2farm -fuzzers l2fuzz,campaign -shards 4
 //	l2farm -devices D2,D5 -fuzzers all -measure
 //	l2farm -fuzzers all -shards 8 -stream   # findings as they land
+//	l2farm -ablations all -measure          # the §IV-D grid, farm-wide
+//	l2farm -budget D4=100000 -budget D6=100000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"l2fuzz"
@@ -56,11 +69,67 @@ func main() {
 	}
 }
 
+// splitList splits one comma-separated flag value: elements are
+// whitespace-trimmed, empty elements (trailing commas, doubled commas)
+// are dropped, and duplicates are rejected with the flag's name so the
+// error points at the right part of the command line. A value with no
+// elements at all is rejected too — an emptied-out restriction must not
+// silently fall back to the library default.
+func splitList(flagName, val string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	for _, el := range strings.Split(val, ",") {
+		el = strings.TrimSpace(el)
+		if el == "" {
+			continue
+		}
+		if seen[el] {
+			return nil, fmt.Errorf("-%s: duplicate %q", flagName, el)
+		}
+		seen[el] = true
+		out = append(out, el)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: empty list %q", flagName, val)
+	}
+	return out, nil
+}
+
+// budgetFlag collects repeatable -budget DEVICE=PACKETS overrides.
+type budgetFlag map[string]int
+
+func (b budgetFlag) String() string {
+	var parts []string
+	for id, n := range b {
+		parts = append(parts, fmt.Sprintf("%s=%d", id, n))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (b budgetFlag) Set(s string) error {
+	id, val, ok := strings.Cut(s, "=")
+	id = strings.TrimSpace(id)
+	if !ok || id == "" {
+		return fmt.Errorf("want DEVICE=PACKETS, e.g. -budget D3=500000")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(val))
+	if err != nil {
+		return fmt.Errorf("bad packet count %q in -budget %s", val, s)
+	}
+	if _, dup := b[id]; dup {
+		return fmt.Errorf("-budget: duplicate budget for %q", id)
+	}
+	b[id] = n
+	return nil
+}
+
 func run() error {
+	budgets := make(budgetFlag)
 	var (
 		devices    = flag.String("devices", "all", "comma-separated catalog IDs, or \"all\" for the Table V testbed")
 		fuzzers    = flag.String("fuzzers", "l2fuzz", "comma-separated fuzzer kinds, or \"all\"")
-		shards     = flag.Int("shards", 1, "seed shards per (device, fuzzer) cell")
+		ablations  = flag.String("ablations", "", "comma-separated §IV-D variants (baseline, no-state-guiding, all-fields, no-garbage), or \"all\" for the whole grid")
+		shards     = flag.Int("shards", 1, "seed shards per (device, fuzzer, variant) cell")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		seed       = flag.Int64("seed", 1, "farm base seed")
 		maxPackets = flag.Int("max-packets", 0, "per-job packet budget (0 = library default)")
@@ -69,6 +138,7 @@ func run() error {
 		stream     = flag.Bool("stream", false, "print de-duplicated findings as they land")
 		dump       = flag.Bool("dump", false, "print the first crash artefact of every finding")
 	)
+	flag.Var(budgets, "budget", "per-device packet budget as DEVICE=PACKETS (repeatable)")
 	flag.Parse()
 
 	cfg := l2fuzz.FleetConfig{
@@ -78,21 +148,47 @@ func run() error {
 		MaxPacketsPerJob: *maxPackets,
 		MeasurementGrade: *measure,
 	}
+	if len(budgets) > 0 {
+		cfg.Budgets = budgets
+	}
 	if *devices != "all" {
-		for _, id := range strings.Split(*devices, ",") {
-			cfg.Devices = append(cfg.Devices, strings.TrimSpace(id))
+		ids, err := splitList("devices", *devices)
+		if err != nil {
+			return err
 		}
+		cfg.Devices = ids
 	}
 	names := allKindNames
 	if *fuzzers != "all" {
-		names = strings.Split(*fuzzers, ",")
+		var err error
+		names, err = splitList("fuzzers", strings.ToLower(*fuzzers))
+		if err != nil {
+			return err
+		}
 	}
 	for _, name := range names {
-		kind, ok := kindAliases[strings.ToLower(strings.TrimSpace(name))]
+		kind, ok := kindAliases[name]
 		if !ok {
 			return fmt.Errorf("unknown fuzzer %q (have %s)", name, strings.Join(allKindNames, ", "))
 		}
 		cfg.Kinds = append(cfg.Kinds, kind)
+	}
+	if *ablations != "" {
+		variantNames, err := splitList("ablations", strings.ToLower(*ablations))
+		if err != nil {
+			return err
+		}
+		if len(variantNames) == 1 && variantNames[0] == "all" {
+			cfg.Variants = l2fuzz.FleetAblationVariants()
+		} else {
+			for _, name := range variantNames {
+				v, err := l2fuzz.FleetVariantByName(name)
+				if err != nil {
+					return err
+				}
+				cfg.Variants = append(cfg.Variants, v)
+			}
+		}
 	}
 
 	farm, err := l2fuzz.StartFleet(cfg)
@@ -116,7 +212,9 @@ func run() error {
 			case len(res.Findings) == 0:
 				status = "clean"
 			}
-			fmt.Printf("[%*d/%d] %-22s %9d pkts  %12v sim  %s\n",
+			// Wide enough for the longest variant-tagged job name
+			// ("D8×Defensics[no-state-guiding]/99" is 33 runes).
+			fmt.Printf("[%*d/%d] %-34s %9d pkts  %12v sim  %s\n",
 				len(fmt.Sprint(ev.Total)), ev.Done, ev.Total, res.Job.String(),
 				res.PacketsSent, res.Elapsed.Round(1e6), status)
 			printed = true

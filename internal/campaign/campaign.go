@@ -35,6 +35,11 @@ type Config struct {
 	// StopAfterDryRuns ends the campaign after this many consecutive
 	// runs without a finding (the target has probably been exhausted).
 	StopAfterDryRuns int
+	// MutateFuzz, when set, adjusts each run's derived fuzzer
+	// configuration after the campaign has applied its per-run seed and
+	// packet budget — the hook the fleet's ablation variants use to
+	// ablate campaign runs too.
+	MutateFuzz func(*core.Config)
 }
 
 // DefaultConfig returns campaign defaults: up to eight runs, stopping
@@ -112,6 +117,9 @@ func (r *Runner) Run() (*Report, error) {
 	for run := 0; run < r.cfg.MaxRuns && dry < r.cfg.StopAfterDryRuns; run++ {
 		fcfg := core.DefaultConfig(r.cfg.Seed + int64(run)*7919)
 		fcfg.MaxPackets = r.cfg.MaxPacketsPerRun
+		if r.cfg.MutateFuzz != nil {
+			r.cfg.MutateFuzz(&fcfg)
+		}
 		fz := core.New(r.cl, fcfg)
 		res, err := fz.Run(r.dev.Address())
 		if err != nil {

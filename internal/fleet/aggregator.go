@@ -27,6 +27,7 @@ type Aggregator struct {
 	totalSim          time.Duration
 	perDevice         map[string]*GroupStats
 	perKind           map[Kind]*GroupStats
+	perVariant        map[string]*VariantStats
 	recs              map[Signature]*findingAcc
 	metrics           metrics.Summary
 }
@@ -58,12 +59,13 @@ func NewAggregator(cfg Config) (*Aggregator, error) {
 // and its matrix size, so Start does not default the config twice.
 func newAggregator(cfg Config, total int) *Aggregator {
 	return &Aggregator{
-		cfg:       cfg,
-		results:   make([]JobResult, total),
-		folded:    make([]bool, total),
-		perDevice: make(map[string]*GroupStats),
-		perKind:   make(map[Kind]*GroupStats),
-		recs:      make(map[Signature]*findingAcc),
+		cfg:        cfg,
+		results:    make([]JobResult, total),
+		folded:     make([]bool, total),
+		perDevice:  make(map[string]*GroupStats),
+		perKind:    make(map[Kind]*GroupStats),
+		perVariant: make(map[string]*VariantStats),
+		recs:       make(map[Signature]*findingAcc),
 	}
 }
 
@@ -92,12 +94,19 @@ func (a *Aggregator) Add(res JobResult) []FindingRecord {
 		kg = &GroupStats{}
 		a.perKind[res.Job.Kind] = kg
 	}
+	vg := a.perVariant[res.Job.Variant]
+	if vg == nil {
+		vg = &VariantStats{}
+		a.perVariant[res.Job.Variant] = vg
+	}
 	dev.Jobs++
 	kg.Jobs++
+	vg.Jobs++
 	if res.Err != nil {
 		a.failed++
 		dev.Failed++
 		kg.Failed++
+		vg.Failed++
 		return nil
 	}
 	a.completed++
@@ -105,16 +114,20 @@ func (a *Aggregator) Add(res JobResult) []FindingRecord {
 	a.totalSim += res.Elapsed
 	dev.Packets += res.PacketsSent
 	kg.Packets += res.PacketsSent
+	vg.Packets += res.PacketsSent
 	if res.Crashed {
 		dev.Crashes++
 		kg.Crashes++
+		vg.Crashes++
 	}
 	a.metrics = a.metrics.Merge(res.Summary)
+	vg.Metrics = vg.Metrics.Merge(res.Summary)
 
 	var fresh []FindingRecord
 	for pos, occ := range res.Findings {
 		dev.Findings += occ.Count
 		kg.Findings += occ.Count
+		vg.Findings += occ.Count
 		sig := Signature{State: occ.Finding.State, PSM: occ.Finding.PSM, Class: occ.Finding.Error}
 		acc, seen := a.recs[sig]
 		if !seen {
@@ -162,7 +175,11 @@ func (a *Aggregator) Snapshot() *Report {
 		Workers:      a.cfg.Workers,
 		PerDevice:    make(map[string]*GroupStats, len(a.perDevice)),
 		PerKind:      make(map[Kind]*GroupStats, len(a.perKind)),
+		PerVariant:   make(map[string]*VariantStats, len(a.perVariant)),
 		Metrics:      a.metrics,
+	}
+	for _, v := range a.cfg.Variants {
+		rep.Variants = append(rep.Variants, v.Name)
 	}
 	for i, res := range a.results {
 		if a.folded[i] {
@@ -176,6 +193,11 @@ func (a *Aggregator) Snapshot() *Report {
 	for k, g := range a.perKind {
 		c := *g
 		rep.PerKind[k] = &c
+	}
+	for name, g := range a.perVariant {
+		c := *g
+		c.Metrics.States = append([]string(nil), g.Metrics.States...)
+		rep.PerVariant[name] = &c
 	}
 
 	accs := make([]*findingAcc, 0, len(a.recs))

@@ -3,13 +3,24 @@
 // limitation (§V), which confined one tester to one physical device.
 //
 // A Config describes a job matrix — catalog device IDs × fuzzer kinds ×
-// a sharded seed range — and the farm executes every job of the matrix
-// on a bounded worker pool. Each job builds its own radio medium,
-// target device, tester client and trace sniffer (through the shared
-// internal/testbed builder), so jobs share no mutable state and the
-// farm scales with worker count while every individual job stays
-// bit-for-bit deterministic: equal (job, seed) gives equal results
-// regardless of worker scheduling.
+// configuration variants × a sharded seed range — and the farm executes
+// every job of the matrix on a bounded worker pool. Each job builds its
+// own radio medium, target device, tester client and trace sniffer
+// (through the shared internal/testbed builder), so jobs share no
+// mutable state and the farm scales with worker count while every
+// individual job stays bit-for-bit deterministic: equal (job, seed)
+// gives equal results regardless of worker scheduling.
+//
+// The variant axis carries per-job configuration overrides: a Variant
+// names a set of hooks that mutate the resolved core.Config,
+// rfcommfuzz.Config or campaign.Config after the farm applies a job's
+// defaults. The predefined AblationVariants reproduce the paper's §IV-D
+// design-argument grid (baseline, no-state-guiding, all-fields,
+// no-garbage) in one farm run, with a PerVariant breakdown in the
+// Report making the MP/PR/state-coverage deltas directly comparable.
+// Non-baseline variants salt the per-job seed derivation; an empty
+// Variants list means the baseline alone and reproduces pre-variant
+// farm reports byte-identically.
 //
 // The execution core is streaming: Start launches the farm and returns
 // a Farm whose Events channel announces JobStarted, JobDone and
@@ -28,8 +39,9 @@
 //   - trace metrics merge via metrics.Summary.Merge into one farm-wide
 //     summary, whose States set is the exact union of the per-job
 //     visited-state sets;
-//   - per-device and per-kind breakdowns count jobs, packets, crashes
-//     and finding occurrences.
+//   - per-device, per-kind and per-variant breakdowns count jobs,
+//     packets, crashes and finding occurrences, the per-variant rows
+//     additionally carrying their own merged metrics.
 //
 // Every fold is commutative and Snapshot orders its output by matrix
 // position, never by arrival, so the whole Report is reproducible for a

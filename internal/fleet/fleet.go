@@ -57,13 +57,19 @@ type Config struct {
 	// Kinds are the fuzzer kinds to run against every device. Empty
 	// means KindL2Fuzz only.
 	Kinds []Kind
-	// Shards is the number of seed shards per (device, kind) cell: each
-	// shard is an independent job with its own derived seed, so one cell
-	// explores Shards distinct mutation streams. Zero means one.
+	// Variants are the per-job configuration overrides to run for every
+	// (device, kind) cell — the matrix's third axis. Empty means the
+	// baseline variant only, which reproduces pre-variant farms
+	// byte-identically. See AblationVariants for the paper's §IV-D grid.
+	Variants []Variant
+	// Shards is the number of seed shards per (device, kind, variant)
+	// cell: each shard is an independent job with its own derived seed,
+	// so one cell explores Shards distinct mutation streams. Zero means
+	// one.
 	Shards int
 	// BaseSeed drives the whole farm. Every job derives its own seed
-	// from (BaseSeed, device, kind, shard), so equal configs give equal
-	// farms and distinct jobs get distinct streams.
+	// from (BaseSeed, device, kind, variant, shard), so equal configs
+	// give equal farms and distinct jobs get distinct streams.
 	BaseSeed int64
 	// Workers bounds the worker pool. Zero means GOMAXPROCS.
 	Workers int
@@ -116,6 +122,19 @@ func (c Config) withDefaults() (Config, error) {
 		}
 		seenKind[k] = true
 	}
+	if len(c.Variants) == 0 {
+		c.Variants = []Variant{BaselineVariant()}
+	}
+	seenVariant := make(map[string]bool)
+	for _, v := range c.Variants {
+		if v.Name == "" {
+			return c, fmt.Errorf("fleet: variant with empty name in matrix")
+		}
+		if seenVariant[v.Name] {
+			return c, fmt.Errorf("fleet: duplicate variant %q in matrix", v.Name)
+		}
+		seenVariant[v.Name] = true
+	}
 	for id, b := range c.Budgets {
 		if !seen[id] {
 			return c, fmt.Errorf("fleet: budget for %q, which is not in the device matrix", id)
@@ -148,16 +167,30 @@ func (c Config) budget(deviceID string) int {
 	return c.MaxPacketsPerJob
 }
 
-// Job is one cell×shard of the matrix: one fuzzer kind against one
-// device with one derived seed.
+// variant resolves a job's variant by name. Names are validated unique
+// and present by withDefaults; an unknown name (a hand-built Job) falls
+// back to the baseline.
+func (c Config) variant(name string) Variant {
+	for _, v := range c.Variants {
+		if v.Name == name {
+			return v
+		}
+	}
+	return BaselineVariant()
+}
+
+// Job is one cell×shard of the matrix: one fuzzer kind under one
+// configuration variant against one device with one derived seed.
 type Job struct {
 	// Index is the job's position in the matrix enumeration
-	// (device-major, then kind, then shard).
+	// (device-major, then kind, then variant, then shard).
 	Index int
 	// Device is the catalog device ID.
 	Device string
 	// Kind is the fuzzer kind.
 	Kind Kind
+	// Variant names the job's configuration variant.
+	Variant string
 	// Shard is the seed shard, 0..Shards-1.
 	Shard int
 	// Seed is the derived job seed.
@@ -167,17 +200,26 @@ type Job struct {
 }
 
 func (j Job) String() string {
-	return fmt.Sprintf("%s×%s/%d", j.Device, j.Kind, j.Shard)
+	if j.Variant == VariantBaseline || j.Variant == "" {
+		return fmt.Sprintf("%s×%s/%d", j.Device, j.Kind, j.Shard)
+	}
+	return fmt.Sprintf("%s×%s[%s]/%d", j.Device, j.Kind, j.Variant, j.Shard)
 }
 
 // jobSeed derives a job's seed from the farm seed and the job
 // coordinates. The derivation is a pure function of its arguments, so
-// seeds do not depend on matrix shape or worker scheduling.
-func jobSeed(base int64, deviceID string, kind Kind, shard int) int64 {
+// seeds do not depend on matrix shape or worker scheduling. The
+// baseline variant contributes no salt: its jobs keep the pre-variant
+// derivation, so variant-free farms reproduce historical reports.
+func jobSeed(base int64, deviceID string, kind Kind, variant string, shard int) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(deviceID))
 	h.Write([]byte{0})
 	h.Write([]byte(kind))
+	if variant != VariantBaseline && variant != "" {
+		h.Write([]byte{0})
+		h.Write([]byte(variant))
+	}
 	mixed := base
 	mixed ^= int64(h.Sum64() & 0x7FFF_FFFF_FFFF_FFFF)
 	mixed += int64(shard) * 0x5DEECE66D // spread shards across the stream
@@ -191,15 +233,18 @@ func buildJobs(cfg Config) []Job {
 	var jobs []Job
 	for _, dev := range cfg.Devices {
 		for _, kind := range cfg.Kinds {
-			for shard := 0; shard < cfg.Shards; shard++ {
-				jobs = append(jobs, Job{
-					Index:      len(jobs),
-					Device:     dev,
-					Kind:       kind,
-					Shard:      shard,
-					Seed:       jobSeed(cfg.BaseSeed, dev, kind, shard),
-					MaxPackets: cfg.budget(dev),
-				})
+			for _, v := range cfg.Variants {
+				for shard := 0; shard < cfg.Shards; shard++ {
+					jobs = append(jobs, Job{
+						Index:      len(jobs),
+						Device:     dev,
+						Kind:       kind,
+						Variant:    v.Name,
+						Shard:      shard,
+						Seed:       jobSeed(cfg.BaseSeed, dev, kind, v.Name, shard),
+						MaxPackets: cfg.budget(dev),
+					})
+				}
 			}
 		}
 	}

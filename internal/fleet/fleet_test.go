@@ -236,7 +236,7 @@ func TestJobSeedsDistinctAndStable(t *testing.T) {
 			t.Errorf("jobs %v and %v share seed %d", prev, j, j.Seed)
 		}
 		seeds[j.Seed] = j
-		if j.Seed != jobSeed(99, j.Device, j.Kind, j.Shard) {
+		if j.Seed != jobSeed(99, j.Device, j.Kind, j.Variant, j.Shard) {
 			t.Errorf("seed for %v not a pure function of its coordinates", j)
 		}
 	}

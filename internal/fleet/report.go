@@ -85,6 +85,18 @@ type GroupStats struct {
 	Crashes int
 }
 
+// VariantStats is a per-variant breakdown row: the job counters plus
+// the variant's own merged trace metrics, so MP/PR/state-coverage
+// deltas between variants are directly comparable within one Report —
+// the farm form of the paper's §IV-D ablation table.
+type VariantStats struct {
+	GroupStats
+	// Metrics is the merged trace summary of the variant's completed
+	// jobs; its States set is the exact union of their visited-state
+	// sets.
+	Metrics metrics.Summary
+}
+
 // Report is the aggregated farm outcome.
 type Report struct {
 	// Jobs are all job results in matrix order.
@@ -106,6 +118,11 @@ type Report struct {
 	// PerDevice and PerKind are the breakdown tables.
 	PerDevice map[string]*GroupStats
 	PerKind   map[Kind]*GroupStats
+	// PerVariant is the per-variant breakdown, keyed by variant name.
+	PerVariant map[string]*VariantStats
+	// Variants lists the matrix's variant names in configuration order
+	// (the order the PerVariant table renders in).
+	Variants []string
 	// Metrics is the farm-wide merged trace summary; its States set is
 	// the exact union of the per-job visited-state sets.
 	Metrics metrics.Summary
@@ -182,6 +199,25 @@ func (r *Report) Render() string {
 			continue
 		}
 		fmt.Fprintf(&b, "  %-10s %5d %6d %10d %9d %8d\n", k, g.Jobs, g.Failed, g.Packets, g.Findings, g.Crashes)
+	}
+
+	// The variant table appears only when the variant axis is non-trivial,
+	// keeping baseline-only farm reports byte-identical to pre-variant
+	// ones.
+	if len(r.Variants) > 1 || (len(r.Variants) == 1 && r.Variants[0] != VariantBaseline) {
+		b.WriteString("\nPer variant:\n")
+		fmt.Fprintf(&b, "  %-18s %5s %6s %10s %9s %8s %7s %7s %7s %7s\n",
+			"variant", "jobs", "failed", "packets", "findings", "crashes", "MP%", "PR%", "eff%", "states")
+		for _, name := range r.Variants {
+			g := r.PerVariant[name]
+			if g == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-18s %5d %6d %10d %9d %8d %7.2f %7.2f %7.2f %7d\n",
+				name, g.Jobs, g.Failed, g.Packets, g.Findings, g.Crashes,
+				100*g.Metrics.MPRatio, 100*g.Metrics.PRRatio,
+				100*g.Metrics.MutationEfficiency, g.Metrics.StatesCovered)
+		}
 	}
 
 	if len(r.Findings) == 0 {

@@ -31,8 +31,10 @@ func newRig(cfg Config, job Job) (*testbed.Rig, error) {
 }
 
 // runJob executes one job on a fresh rig and folds the outcome into a
-// JobResult. Job errors are recorded, not returned: one failed cell
-// must not bring the farm down.
+// JobResult. The job's variant overrides are applied after each runner
+// resolves its defaults, so a variant may adjust any knob. Job errors
+// are recorded, not returned: one failed cell must not bring the farm
+// down.
 func runJob(cfg Config, job Job) JobResult {
 	res := JobResult{Job: job}
 	r, err := newRig(cfg, job)
@@ -40,15 +42,16 @@ func runJob(cfg Config, job Job) JobResult {
 		res.Err = fmt.Errorf("rig: %w", err)
 		return res
 	}
+	v := cfg.variant(job.Variant)
 	switch job.Kind {
 	case KindL2Fuzz:
-		runL2Fuzz(r, job, &res)
+		runL2Fuzz(r, job, v, &res)
 	case KindDefensics, KindBFuzz, KindBSS:
 		runBaseline(r, job, &res)
 	case KindRFCOMM:
-		runRFCOMM(r, job, &res)
+		runRFCOMM(r, job, v, &res)
 	case KindCampaign:
-		runCampaign(cfg, r, job, &res)
+		runCampaign(cfg, r, job, v, &res)
 	default:
 		res.Err = fmt.Errorf("unknown kind %q", job.Kind)
 		return res
@@ -58,9 +61,12 @@ func runJob(cfg Config, job Job) JobResult {
 	return res
 }
 
-func runL2Fuzz(r *testbed.Rig, job Job, res *JobResult) {
+func runL2Fuzz(r *testbed.Rig, job Job, v Variant, res *JobResult) {
 	fcfg := core.DefaultConfig(job.Seed)
 	fcfg.MaxPackets = job.MaxPackets
+	if v.Core != nil {
+		v.Core(&fcfg)
+	}
 	report, err := core.New(r.Client, fcfg).Run(r.Device.Address())
 	if err != nil {
 		res.Err = err
@@ -76,7 +82,9 @@ func runL2Fuzz(r *testbed.Rig, job Job, res *JobResult) {
 // runBaseline runs one of the comparison fuzzers. Baselines have no
 // detection phase — the paper's evaluation found none of the zero-days
 // with them — so they contribute traffic, metrics and (at most) a
-// crashed-device flag, never classified findings.
+// crashed-device flag, never classified findings. They expose no
+// configuration knobs either, so a variant only distinguishes their
+// jobs through its seed salt.
 func runBaseline(r *testbed.Rig, job Job, res *JobResult) {
 	var fz fuzzers.Fuzzer
 	switch job.Kind {
@@ -101,9 +109,12 @@ func runBaseline(r *testbed.Rig, job Job, res *JobResult) {
 // port: Connection Aborted when L2CAP survived the mux (the paper's
 // layer-isolation observation), Connection Reset when the whole stack
 // went with it.
-func runRFCOMM(r *testbed.Rig, job Job, res *JobResult) {
+func runRFCOMM(r *testbed.Rig, job Job, v Variant, res *JobResult) {
 	fcfg := rfcommfuzz.DefaultConfig(job.Seed)
 	fcfg.MaxFrames = job.MaxPackets
+	if v.RFCOMM != nil {
+		v.RFCOMM(&fcfg)
+	}
 	report, err := rfcommfuzz.New(r.Client, fcfg).Run(r.Device.Address())
 	if err != nil {
 		res.Err = err
@@ -129,10 +140,24 @@ func runRFCOMM(r *testbed.Rig, job Job, res *JobResult) {
 	}
 }
 
-func runCampaign(cfg Config, r *testbed.Rig, job Job, res *JobResult) {
+func runCampaign(cfg Config, r *testbed.Rig, job Job, v Variant, res *JobResult) {
 	ccfg := campaign.DefaultConfig(job.Seed)
 	ccfg.MaxRuns = cfg.CampaignRuns
 	ccfg.MaxPacketsPerRun = job.MaxPackets
+	if v.Campaign != nil {
+		v.Campaign(&ccfg)
+	}
+	if v.Core != nil {
+		// Chain behind any hook the Campaign override installed, so both
+		// see each run's config.
+		prev := ccfg.MutateFuzz
+		ccfg.MutateFuzz = func(fc *core.Config) {
+			if prev != nil {
+				prev(fc)
+			}
+			v.Core(fc)
+		}
+	}
 	report, err := campaign.New(r.Client, r.Device, ccfg).Run()
 	if err != nil {
 		res.Err = err

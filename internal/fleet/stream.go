@@ -38,7 +38,9 @@ func (t EventType) String() string {
 type Event struct {
 	// Type says what happened.
 	Type EventType
-	// Job is the matrix cell the event concerns.
+	// Job is the matrix cell the event concerns; Job.Variant names the
+	// configuration variant it ran under, so a streaming consumer can
+	// attribute progress and findings along the variant axis.
 	Job Job
 	// Result is the job's outcome; EventJobDone only.
 	Result *JobResult

@@ -202,13 +202,13 @@ func TestJobSeedNonNegative(t *testing.T) {
 	mixPart := int64(h.Sum64() & 0x7FFF_FFFF_FFFF_FFFF)
 
 	adversarial := math.MinInt64 ^ mixPart
-	if got := jobSeed(adversarial, "D1", KindL2Fuzz, 0); got < 0 {
+	if got := jobSeed(adversarial, "D1", KindL2Fuzz, VariantBaseline, 0); got < 0 {
 		t.Errorf("jobSeed(MinInt64 mix) = %d, want non-negative", got)
 	}
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 1000; i++ {
 		base := int64(rng.Uint64())
-		if got := jobSeed(base, "D1", KindL2Fuzz, i%5); got < 0 {
+		if got := jobSeed(base, "D1", KindL2Fuzz, VariantNoGarbage, i%5); got < 0 {
 			t.Errorf("jobSeed(%d, shard %d) = %d, want non-negative", base, i%5, got)
 		}
 	}

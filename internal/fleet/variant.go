@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"l2fuzz/internal/campaign"
+	"l2fuzz/internal/core"
+	"l2fuzz/internal/rfcommfuzz"
+)
+
+// Names of the predefined variants: the paper's §IV-D ablation grid.
+const (
+	// VariantBaseline is the un-ablated reference configuration. It is
+	// also the implicit variant of a Config with no Variants set, and its
+	// jobs keep the pre-variant seed derivation, so variant-free farms
+	// reproduce historical reports byte-for-byte.
+	VariantBaseline = "baseline"
+	// VariantNoStateGuiding disables job-valid command selection:
+	// commands are drawn uniformly from all 26 codes in every state.
+	VariantNoStateGuiding = "no-state-guiding"
+	// VariantAllFields widens mutation beyond the core fields: dependent
+	// and MA fields are scrambled too (the dumb-mutation strategy the
+	// paper argues against).
+	VariantAllFields = "all-fields"
+	// VariantNoGarbage suppresses the appended garbage tail.
+	VariantNoGarbage = "no-garbage"
+)
+
+// Variant is one point on the matrix's variant axis: a named per-job
+// configuration override. The override hooks run after the farm has
+// resolved a job's defaults (seed, packet budget), so a variant may
+// adjust any knob, including the budget itself. Hooks for fuzzer kinds a
+// job does not run are ignored; the baseline comparison fuzzers
+// (Defensics, BFuzz, BSS) expose no knobs, so variants only distinguish
+// their jobs through the variant-salted seed.
+type Variant struct {
+	// Name identifies the variant in jobs, reports and seed derivation.
+	// It must be unique within a matrix and non-empty.
+	Name string
+	// Core, when set, mutates the resolved core.Config of KindL2Fuzz
+	// jobs and of every run inside KindCampaign jobs.
+	Core func(*core.Config)
+	// RFCOMM, when set, mutates the resolved rfcommfuzz.Config of
+	// KindRFCOMM jobs.
+	RFCOMM func(*rfcommfuzz.Config)
+	// Campaign, when set, mutates the resolved campaign.Config of
+	// KindCampaign jobs (run counts, dry-run cutoffs; per-run fuzzer
+	// knobs belong in Core).
+	Campaign func(*campaign.Config)
+}
+
+// BaselineVariant returns the un-ablated reference variant.
+func BaselineVariant() Variant { return Variant{Name: VariantBaseline} }
+
+// NoStateGuidingVariant returns the state-guiding ablation: state
+// coverage collapses while mutation efficiency survives (§IV-D).
+func NoStateGuidingVariant() Variant {
+	return Variant{
+		Name: VariantNoStateGuiding,
+		Core: func(c *core.Config) { c.NoStateGuiding = true },
+	}
+}
+
+// AllFieldsVariant returns the core-field-mutation ablation: packets
+// become invalid rather than valid-malformed and the MP ratio collapses.
+func AllFieldsVariant() Variant {
+	return Variant{
+		Name: VariantAllFields,
+		Core: func(c *core.Config) { c.MutateAllFields = true },
+	}
+}
+
+// NoGarbageVariant returns the garbage-tail ablation: the malformed
+// ratio drops and tail-triggered defects go undetected.
+func NoGarbageVariant() Variant {
+	return Variant{
+		Name: VariantNoGarbage,
+		Core: func(c *core.Config) { c.NoGarbage = true },
+	}
+}
+
+// AblationVariants returns the §IV-D ablation grid in report order: the
+// baseline followed by the three single-choice ablations. A farm over
+// these variants reproduces the paper's design-argument table from one
+// Report.
+func AblationVariants() []Variant {
+	return []Variant{
+		BaselineVariant(),
+		NoStateGuidingVariant(),
+		AllFieldsVariant(),
+		NoGarbageVariant(),
+	}
+}
+
+// VariantByName resolves one of the predefined ablation variants.
+func VariantByName(name string) (Variant, error) {
+	var known []string
+	for _, v := range AblationVariants() {
+		if v.Name == name {
+			return v, nil
+		}
+		known = append(known, v.Name)
+	}
+	return Variant{}, fmt.Errorf("fleet: unknown variant %q (have %s)", name, strings.Join(known, ", "))
+}

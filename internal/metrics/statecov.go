@@ -153,6 +153,14 @@ func (si *StateInferencer) completeConnect(scid, dcid l2cap.CID, result l2cap.Co
 	if sc == nil {
 		return
 	}
+	if result == l2cap.ConnResultPending {
+		// The target is still deciding (authorization pending): the
+		// channel stays in WAIT_CONNECT/WAIT_CREATE and the final
+		// response is yet to come. Keep the shadow pending so that final
+		// response still matches — dropping it here would orphan every
+		// post-connect state on the channel.
+		return
+	}
 	delete(si.pendingConn, scid)
 	if result != l2cap.ConnResultSuccess {
 		si.absorb(sc.m)

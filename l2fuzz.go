@@ -29,9 +29,11 @@
 // state-coverage measurements.
 //
 // Beyond one simulation at a time, RunFleet orchestrates a parallel
-// fuzzing farm: a job matrix of catalog devices × fuzzer kinds × seed
-// shards executed on a bounded worker pool, with findings de-duplicated
-// across devices and trace metrics merged into one report:
+// fuzzing farm: a job matrix of catalog devices × fuzzer kinds ×
+// configuration variants × seed shards executed on a bounded worker
+// pool, with findings de-duplicated across devices and trace metrics
+// merged into one report (the variant axis reproduces the paper's §IV-D
+// ablation grid in one run — see FleetAblationVariants):
 //
 //	report, err := l2fuzz.RunFleet(l2fuzz.FleetConfig{
 //	    Kinds:   []l2fuzz.FleetKind{l2fuzz.FleetL2Fuzz, l2fuzz.FleetCampaign},
@@ -123,6 +125,13 @@ type (
 	FleetFinding = fleet.FindingRecord
 	// FleetKind selects the fuzzer a farm job runs.
 	FleetKind = fleet.Kind
+	// FleetVariant is one point on a farm matrix's variant axis: a named
+	// per-job configuration override (the paper's §IV-D ablations, or
+	// arbitrary core/rfcommfuzz/campaign knob overrides).
+	FleetVariant = fleet.Variant
+	// FleetVariantStats is a per-variant report row: job counters plus
+	// the variant's own merged trace metrics.
+	FleetVariantStats = fleet.VariantStats
 	// FleetFarm is a running farm: an event stream plus live report
 	// snapshots.
 	FleetFarm = fleet.Farm
@@ -160,6 +169,24 @@ const (
 
 // FleetKinds returns every schedulable farm job kind in report order.
 func FleetKinds() []FleetKind { return fleet.AllKinds() }
+
+// The predefined farm variant names (the paper's §IV-D ablation grid).
+const (
+	FleetVariantBaseline       = fleet.VariantBaseline
+	FleetVariantNoStateGuiding = fleet.VariantNoStateGuiding
+	FleetVariantAllFields      = fleet.VariantAllFields
+	FleetVariantNoGarbage      = fleet.VariantNoGarbage
+)
+
+// FleetAblationVariants returns the §IV-D ablation grid in report
+// order: the baseline followed by the no-state-guiding, all-fields and
+// no-garbage ablations. A farm over these variants reproduces the
+// paper's design-argument table from a single report.
+func FleetAblationVariants() []FleetVariant { return fleet.AblationVariants() }
+
+// FleetVariantByName resolves one of the predefined ablation variants
+// by name.
+func FleetVariantByName(name string) (FleetVariant, error) { return fleet.VariantByName(name) }
 
 // RunFleet executes a fuzzing farm: every job of the matrix described
 // by cfg runs in its own private Simulation-equivalent testbed on a
