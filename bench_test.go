@@ -202,10 +202,14 @@ func BenchmarkAblation_MutateAllFields(b *testing.B) {
 // trajectory of the fleet orchestrator. The matrix and budgets are
 // constant across worker counts, so pkts/s is directly comparable.
 // (On a single-core host the three counts converge: the farm is CPU-
-// bound, so the speedup tracks available cores.)
+// bound, so the speedup tracks available cores.) Allocations are
+// reported per worker count too: the farm is CPU-bound today, so the
+// per-job allocation volume is the hot-spot budget the ROADMAP's
+// fleet-scaling item chases.
 func BenchmarkFleet(b *testing.B) {
 	for _, workers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				start := time.Now()
 				report, err := l2fuzz.RunFleet(l2fuzz.FleetConfig{

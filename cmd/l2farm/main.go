@@ -15,15 +15,25 @@
 // all-fields, no-garbage) or "all" for the whole grid, every variant
 // run for every (device, fuzzer) cell and broken out in the report's
 // per-variant table. The -budget flag (repeatable) overrides the
-// per-job packet budget for a single device, spending the farm's time
+// per-job packet budget for a single target, spending the farm's time
 // where the devices need it.
+//
+// The -device-file flag (repeatable) opens the target axis beyond the
+// Table V catalog: each file holds one JSON target spec — name, BD_ADDR,
+// stack profile, port map, optional named defects and RFCOMM services
+// (see l2fuzz.ParseDeviceSpec for the format) — and the decoded spec is
+// fuzzed next to the catalog devices, keyed everywhere by its name
+// (budgets, progress lines, per-device report sections). Malformed
+// files are rejected with the line and column of the error. Use
+// "-devices none" with -device-file to farm custom targets alone.
 //
 // Usage:
 //
-//	l2farm [-devices all|D1,D2,...] [-fuzzers l2fuzz,defensics,bfuzz,bss,rfcomm,campaign]
+//	l2farm [-devices all|none|D1,D2,...] [-fuzzers l2fuzz,defensics,bfuzz,bss,rfcomm,campaign]
 //	       [-ablations all|baseline,no-state-guiding,all-fields,no-garbage]
-//	       [-shards 1] [-workers 0] [-seed 1] [-max-packets 250000]
-//	       [-budget D3=500000]... [-measure] [-quiet] [-stream] [-dump]
+//	       [-device-file spec.json]... [-shards 1] [-workers 0] [-seed 1]
+//	       [-max-packets 250000] [-budget D3=500000]... [-measure] [-quiet]
+//	       [-stream] [-dump]
 //
 // Examples:
 //
@@ -33,12 +43,15 @@
 //	l2farm -fuzzers all -shards 8 -stream   # findings as they land
 //	l2farm -ablations all -measure          # the §IV-D grid, farm-wide
 //	l2farm -budget D4=100000 -budget D6=100000
+//	l2farm -device-file toaster.json -budget smart-toaster=500000
+//	l2farm -devices none -device-file a.json -device-file b.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -98,12 +111,41 @@ func splitList(flagName, val string) ([]string, error) {
 // budgetFlag collects repeatable -budget DEVICE=PACKETS overrides.
 type budgetFlag map[string]int
 
+// String renders the overrides sorted by target name: map iteration is
+// random, and this string reaches -help defaults and error echoes.
 func (b budgetFlag) String() string {
-	var parts []string
-	for id, n := range b {
-		parts = append(parts, fmt.Sprintf("%s=%d", id, n))
+	ids := make([]string, 0, len(b))
+	for id := range b {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%s=%d", id, b[id])
 	}
 	return strings.Join(parts, ",")
+}
+
+// specFileFlag collects repeatable -device-file PATH custom targets.
+type specFileFlag struct {
+	specs []l2fuzz.DeviceSpec
+	paths []string
+}
+
+func (f *specFileFlag) String() string { return strings.Join(f.paths, ",") }
+
+func (f *specFileFlag) Set(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := l2fuzz.ParseDeviceSpec(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	f.specs = append(f.specs, spec)
+	f.paths = append(f.paths, path)
+	return nil
 }
 
 func (b budgetFlag) Set(s string) error {
@@ -125,8 +167,9 @@ func (b budgetFlag) Set(s string) error {
 
 func run() error {
 	budgets := make(budgetFlag)
+	var specFiles specFileFlag
 	var (
-		devices    = flag.String("devices", "all", "comma-separated catalog IDs, or \"all\" for the Table V testbed")
+		devices    = flag.String("devices", "all", "comma-separated catalog IDs, \"all\" for the Table V testbed, or \"none\" to farm -device-file targets alone")
 		fuzzers    = flag.String("fuzzers", "l2fuzz", "comma-separated fuzzer kinds, or \"all\"")
 		ablations  = flag.String("ablations", "", "comma-separated §IV-D variants (baseline, no-state-guiding, all-fields, no-garbage), or \"all\" for the whole grid")
 		shards     = flag.Int("shards", 1, "seed shards per (device, fuzzer, variant) cell")
@@ -138,10 +181,12 @@ func run() error {
 		stream     = flag.Bool("stream", false, "print de-duplicated findings as they land")
 		dump       = flag.Bool("dump", false, "print the first crash artefact of every finding")
 	)
-	flag.Var(budgets, "budget", "per-device packet budget as DEVICE=PACKETS (repeatable)")
+	flag.Var(budgets, "budget", "per-target packet budget as TARGET=PACKETS (repeatable)")
+	flag.Var(&specFiles, "device-file", "JSON target spec fuzzed alongside the catalog devices (repeatable)")
 	flag.Parse()
 
 	cfg := l2fuzz.FleetConfig{
+		CustomDevices:    specFiles.specs,
 		Shards:           *shards,
 		BaseSeed:         *seed,
 		Workers:          *workers,
@@ -151,7 +196,19 @@ func run() error {
 	if len(budgets) > 0 {
 		cfg.Budgets = budgets
 	}
-	if *devices != "all" {
+	switch *devices {
+	case "all":
+		// Leave Devices empty only when no custom specs are given (the
+		// library then defaults to the whole testbed); with custom specs
+		// present, "all" must still mean the full catalog.
+		if len(cfg.CustomDevices) > 0 {
+			cfg.Devices = l2fuzz.CatalogDeviceIDs()
+		}
+	case "none":
+		if len(cfg.CustomDevices) == 0 {
+			return fmt.Errorf("-devices none requires at least one -device-file")
+		}
+	default:
 		ids, err := splitList("devices", *devices)
 		if err != nil {
 			return err
@@ -195,6 +252,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Progress-line job column: 34 runes fits the longest catalog job
+	// name ("D8×Defensics[no-state-guiding]/99" is 33); custom targets
+	// widen it by however much their name exceeds a catalog ID's 2.
+	jobW := 34
+	for _, spec := range cfg.CustomDevices {
+		if w := len(spec.Name) + 32; w > jobW {
+			jobW = w
+		}
+	}
 	printed := false
 	for ev := range farm.Events() {
 		switch ev.Type {
@@ -212,10 +278,8 @@ func run() error {
 			case len(res.Findings) == 0:
 				status = "clean"
 			}
-			// Wide enough for the longest variant-tagged job name
-			// ("D8×Defensics[no-state-guiding]/99" is 33 runes).
-			fmt.Printf("[%*d/%d] %-34s %9d pkts  %12v sim  %s\n",
-				len(fmt.Sprint(ev.Total)), ev.Done, ev.Total, res.Job.String(),
+			fmt.Printf("[%*d/%d] %-*s %9d pkts  %12v sim  %s\n",
+				len(fmt.Sprint(ev.Total)), ev.Done, ev.Total, jobW, res.Job.String(),
 				res.PacketsSent, res.Elapsed.Round(1e6), status)
 			printed = true
 		case l2fuzz.FleetNewFinding:

@@ -9,7 +9,10 @@ import (
 )
 
 // CatalogEntry describes one of the paper's eight test devices (Table V)
-// plus everything the simulation needs to instantiate it.
+// plus everything the simulation needs to instantiate it. It is the
+// inventory view of the catalog: layers that only need a fuzzing target
+// take its Spec instead (the paper ID is the target name), and the two
+// stay byte-compatible by construction.
 type CatalogEntry struct {
 	// ID is the paper's device number, "D1" through "D8".
 	ID string

@@ -22,4 +22,10 @@
 // Specs can be disabled per device so measurement experiments (Table VII,
 // Figures 8-10) can run the full 100,000-packet workload without the
 // target dying mid-measurement.
+//
+// Device identity is a first-class Spec: a target name plus a full
+// Config plus expected-defect metadata. The Table V catalog is eight
+// predefined Specs (CatalogSpecs) and CatalogEntry is the inventory
+// view over them; custom targets are any validated Spec, built in code
+// or decoded from JSON (DecodeSpec).
 package device

@@ -2,10 +2,16 @@
 // Bluetooth testbed: the production-scale answer to the paper's first
 // limitation (§V), which confined one tester to one physical device.
 //
-// A Config describes a job matrix — catalog device IDs × fuzzer kinds ×
+// A Config describes a job matrix — targets × fuzzer kinds ×
 // configuration variants × a sharded seed range — and the farm executes
-// every job of the matrix on a bounded worker pool. Each job builds its
-// own radio medium, target device, tester client and trace sniffer
+// every job of the matrix on a bounded worker pool. The target axis is
+// fully programmable: catalog device IDs (Devices) and first-class
+// device.Spec values (CustomDevices) resolve into one target list, so
+// the same farm fuzzes the paper's Table V testbed next to devices the
+// paper never named. Every job carries its resolved Spec; seeds,
+// packet Budgets and per-device report sections key by target name,
+// with catalog IDs hashing exactly as they always did. Each job builds
+// its own radio medium, target device, tester client and trace sniffer
 // (through the shared internal/testbed builder), so jobs share no
 // mutable state and the farm scales with worker count while every
 // individual job stays bit-for-bit deterministic: equal (job, seed)

@@ -49,11 +49,34 @@ const (
 	DefaultCampaignRuns = 3
 )
 
+// catalogTargets resolves the defect-armed Table V catalog into shared
+// target specs, once: every farm's catalog jobs point at these same
+// Specs, so reports from equal configs stay deeply comparable (the
+// specs' behaviour hooks are function values, which reflect.DeepEqual
+// only accepts by identity). MeasurementGrade farms disable the defects
+// at rig-build time, not here.
+var catalogTargets = func() (m map[string]*device.Spec) {
+	m = make(map[string]*device.Spec)
+	for _, s := range device.CatalogSpecs(false) {
+		spec := s
+		m[spec.Name] = &spec
+	}
+	return m
+}()
+
 // Config describes a farm job matrix and how to execute it.
 type Config struct {
 	// Devices are catalog device IDs (D1..D8). Empty means the whole
-	// eight-device Table V testbed.
+	// eight-device Table V testbed — unless CustomDevices supplies the
+	// farm's targets instead.
 	Devices []string
+	// CustomDevices are first-class target specs fuzzed alongside the
+	// catalog devices: the matrix's device axis is the concatenation of
+	// Devices and CustomDevices, in that order. Spec names key seeds,
+	// Budgets and per-device report sections exactly as catalog IDs do,
+	// so they must be non-empty, unique, and disjoint from the catalog.
+	// Specs are copied at Start; later mutation does not reach the farm.
+	CustomDevices []device.Spec
 	// Kinds are the fuzzer kinds to run against every device. Empty
 	// means KindL2Fuzz only.
 	Kinds []Kind
@@ -77,8 +100,9 @@ type Config struct {
 	// packets per campaign run for KindCampaign). Zero means
 	// DefaultMaxPacketsPerJob.
 	MaxPacketsPerJob int
-	// Budgets overrides MaxPacketsPerJob per device ID, letting a farm
-	// spend its packet budget where the devices need it.
+	// Budgets overrides MaxPacketsPerJob per target name (catalog ID or
+	// custom spec name), letting a farm spend its packet budget where
+	// the devices need it.
 	Budgets map[string]int
 	// CampaignRuns is the number of runs per KindCampaign job. Zero
 	// means DefaultCampaignRuns.
@@ -90,24 +114,45 @@ type Config struct {
 	// calls serialized (done counts completed jobs so far, total the
 	// matrix size). It must not mutate the result.
 	OnJobDone func(res JobResult, done, total int)
+
+	// targets is the resolved device axis — catalog specs for Devices
+	// entries followed by owned copies of CustomDevices — populated by
+	// withDefaults. Jobs carry pointers into it.
+	targets []*device.Spec
 }
 
-// withDefaults fills unset fields and validates the matrix.
+// withDefaults fills unset fields, validates the matrix, and resolves
+// the device axis into the target list.
 func (c Config) withDefaults() (Config, error) {
-	if len(c.Devices) == 0 {
-		for _, e := range device.Catalog(false) {
-			c.Devices = append(c.Devices, e.ID)
-		}
+	if len(c.Devices) == 0 && len(c.CustomDevices) == 0 {
+		c.Devices = device.CatalogIDs()
 	}
+	c.targets = nil
 	seen := make(map[string]bool)
 	for _, id := range c.Devices {
-		if _, err := device.CatalogEntryByID(id, false); err != nil {
-			return c, fmt.Errorf("fleet: %w", err)
+		spec, ok := catalogTargets[id]
+		if !ok {
+			return c, fmt.Errorf("fleet: no catalog entry %q (non-catalog targets go in CustomDevices)", id)
 		}
 		if seen[id] {
 			return c, fmt.Errorf("fleet: duplicate device %q in matrix", id)
 		}
 		seen[id] = true
+		c.targets = append(c.targets, spec)
+	}
+	for i, spec := range c.CustomDevices {
+		if err := spec.Validate(); err != nil {
+			return c, fmt.Errorf("fleet: custom device %d: %w", i, err)
+		}
+		if _, catalog := catalogTargets[spec.Name]; catalog {
+			return c, fmt.Errorf("fleet: custom device %d: name %q collides with a Table V catalog ID", i, spec.Name)
+		}
+		if seen[spec.Name] {
+			return c, fmt.Errorf("fleet: duplicate target %q in matrix", spec.Name)
+		}
+		seen[spec.Name] = true
+		owned := spec.Clone()
+		c.targets = append(c.targets, &owned)
 	}
 	if len(c.Kinds) == 0 {
 		c.Kinds = []Kind{KindL2Fuzz}
@@ -137,7 +182,7 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	for id, b := range c.Budgets {
 		if !seen[id] {
-			return c, fmt.Errorf("fleet: budget for %q, which is not in the device matrix", id)
+			return c, fmt.Errorf("fleet: budget for %q, which is not in the target matrix", id)
 		}
 		if b <= 0 {
 			return c, fmt.Errorf("fleet: non-positive budget %d for %q", b, id)
@@ -158,10 +203,10 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// budget resolves the packet budget for one device. Budgets entries
-// are validated positive and in-matrix by withDefaults.
-func (c Config) budget(deviceID string) int {
-	if b, ok := c.Budgets[deviceID]; ok {
+// budget resolves the packet budget for one target name. Budgets
+// entries are validated positive and in-matrix by withDefaults.
+func (c Config) budget(target string) int {
+	if b, ok := c.Budgets[target]; ok {
 		return b
 	}
 	return c.MaxPacketsPerJob
@@ -180,13 +225,17 @@ func (c Config) variant(name string) Variant {
 }
 
 // Job is one cell×shard of the matrix: one fuzzer kind under one
-// configuration variant against one device with one derived seed.
+// configuration variant against one target with one derived seed.
 type Job struct {
 	// Index is the job's position in the matrix enumeration
 	// (device-major, then kind, then variant, then shard).
 	Index int
-	// Device is the catalog device ID.
+	// Device is the target name: a catalog ID ("D1".."D8") or a custom
+	// spec name. Seeds, budgets and report sections key by it.
 	Device string
+	// Spec is the resolved target spec the job runs against. Catalog
+	// jobs share the package-wide catalog specs; treat it as read-only.
+	Spec *device.Spec
 	// Kind is the fuzzer kind.
 	Kind Kind
 	// Variant names the job's configuration variant.
@@ -208,12 +257,14 @@ func (j Job) String() string {
 
 // jobSeed derives a job's seed from the farm seed and the job
 // coordinates. The derivation is a pure function of its arguments, so
-// seeds do not depend on matrix shape or worker scheduling. The
-// baseline variant contributes no salt: its jobs keep the pre-variant
-// derivation, so variant-free farms reproduce historical reports.
-func jobSeed(base int64, deviceID string, kind Kind, variant string, shard int) int64 {
+// seeds do not depend on matrix shape or worker scheduling. The device
+// salt is the target name — catalog IDs hash exactly as they did when
+// they were the only device axis, so catalog-only farms reproduce
+// historical reports. The baseline variant contributes no salt: its
+// jobs keep the pre-variant derivation for the same reason.
+func jobSeed(base int64, target string, kind Kind, variant string, shard int) int64 {
 	h := fnv.New64a()
-	h.Write([]byte(deviceID))
+	h.Write([]byte(target))
 	h.Write([]byte{0})
 	h.Write([]byte(kind))
 	if variant != VariantBaseline && variant != "" {
@@ -228,21 +279,23 @@ func jobSeed(base int64, deviceID string, kind Kind, variant string, shard int) 
 	return mixed & math.MaxInt64
 }
 
-// buildJobs enumerates the matrix in deterministic device-major order.
+// buildJobs enumerates the matrix in deterministic device-major order
+// over the resolved target list.
 func buildJobs(cfg Config) []Job {
 	var jobs []Job
-	for _, dev := range cfg.Devices {
+	for _, tgt := range cfg.targets {
 		for _, kind := range cfg.Kinds {
 			for _, v := range cfg.Variants {
 				for shard := 0; shard < cfg.Shards; shard++ {
 					jobs = append(jobs, Job{
 						Index:      len(jobs),
-						Device:     dev,
+						Device:     tgt.Name,
+						Spec:       tgt,
 						Kind:       kind,
 						Variant:    v.Name,
 						Shard:      shard,
-						Seed:       jobSeed(cfg.BaseSeed, dev, kind, v.Name, shard),
-						MaxPackets: cfg.budget(dev),
+						Seed:       jobSeed(cfg.BaseSeed, tgt.Name, kind, v.Name, shard),
+						MaxPackets: cfg.budget(tgt.Name),
 					})
 				}
 			}

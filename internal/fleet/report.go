@@ -63,7 +63,8 @@ type FindingRecord struct {
 	Signature Signature
 	// Finding is the first occurrence.
 	Finding core.Finding
-	// Devices lists the catalog IDs that exhibited it, sorted.
+	// Devices lists the target names (catalog IDs or custom spec names)
+	// that exhibited it, sorted.
 	Devices []string
 	// Kinds lists the fuzzer kinds that produced it, in AllKinds order.
 	Kinds []Kind
@@ -115,7 +116,8 @@ type Report struct {
 	// Findings are the de-duplicated findings in first-seen matrix
 	// order.
 	Findings []FindingRecord
-	// PerDevice and PerKind are the breakdown tables.
+	// PerDevice and PerKind are the breakdown tables; PerDevice keys by
+	// target name (catalog ID or custom spec name).
 	PerDevice map[string]*GroupStats
 	PerKind   map[Kind]*GroupStats
 	// PerVariant is the per-variant breakdown, keyed by variant name.
@@ -130,12 +132,13 @@ type Report struct {
 	StateCoverage []string
 }
 
-// FindingsOn returns the de-duplicated findings involving one device.
-func (r *Report) FindingsOn(deviceID string) []FindingRecord {
+// FindingsOn returns the de-duplicated findings involving one target,
+// by name.
+func (r *Report) FindingsOn(target string) []FindingRecord {
 	var out []FindingRecord
 	for _, f := range r.Findings {
 		for _, d := range f.Devices {
-			if d == deviceID {
+			if d == target {
 				out = append(out, f)
 				break
 			}
@@ -184,11 +187,20 @@ func (r *Report) Render() string {
 		100*r.Metrics.MutationEfficiency, r.Metrics.PacketsPerSecond,
 		r.Metrics.StatesCovered)
 
+	// The device column grows with the longest target name but never
+	// shrinks below the historical 8 columns, so catalog-only reports
+	// stay byte-identical to pre-target-spec ones.
+	devW := 8
+	for id := range r.PerDevice {
+		if len(id) > devW {
+			devW = len(id)
+		}
+	}
 	b.WriteString("\nPer device:\n")
-	fmt.Fprintf(&b, "  %-8s %5s %6s %10s %9s %8s\n", "device", "jobs", "failed", "packets", "findings", "crashes")
+	fmt.Fprintf(&b, "  %-*s %5s %6s %10s %9s %8s\n", devW, "device", "jobs", "failed", "packets", "findings", "crashes")
 	for _, id := range sortedKeys(r.PerDevice) {
 		g := r.PerDevice[id]
-		fmt.Fprintf(&b, "  %-8s %5d %6d %10d %9d %8d\n", id, g.Jobs, g.Failed, g.Packets, g.Findings, g.Crashes)
+		fmt.Fprintf(&b, "  %-*s %5d %6d %10d %9d %8d\n", devW, id, g.Jobs, g.Failed, g.Packets, g.Findings, g.Crashes)
 	}
 
 	b.WriteString("\nPer fuzzer:\n")

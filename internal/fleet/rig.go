@@ -18,12 +18,16 @@ import (
 
 // newRig builds one job's private testbed through the shared builder:
 // a fresh medium, target device, tester client and sniffer, so jobs
-// share no mutable state. KindRFCOMM jobs get the RFCOMM-capable
-// variant of the catalog device (serial services mounted, RFCOMM port
-// pairing-free, and — on defect-armed farms against devices the paper
-// found vulnerable — the reserved-DLCI mux defect).
+// share no mutable state. The job carries its resolved target spec —
+// catalog or custom — and KindRFCOMM jobs get the RFCOMM-capable rig
+// variant (serial services mounted when the spec brings none, RFCOMM
+// port pairing-free, and — on defect-armed farms against specs expected
+// vulnerable — the reserved-DLCI mux defect).
 func newRig(cfg Config, job Job) (*testbed.Rig, error) {
-	return testbed.New(job.Device, testbed.Options{
+	if job.Spec == nil {
+		return nil, fmt.Errorf("job %v carries no resolved target spec", job)
+	}
+	return testbed.New(*job.Spec, testbed.Options{
 		DisableVulns: cfg.MeasurementGrade,
 		RFCOMM:       job.Kind == KindRFCOMM,
 		TesterName:   "farm-worker",

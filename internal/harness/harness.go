@@ -19,6 +19,7 @@ package harness
 import (
 	"fmt"
 
+	"l2fuzz/internal/bt/device"
 	"l2fuzz/internal/bt/radio"
 	"l2fuzz/internal/core"
 	"l2fuzz/internal/fuzzers"
@@ -50,9 +51,17 @@ func AllFuzzerNames() []FuzzerName {
 // the fleet both build theirs through internal/testbed.
 type Rig = testbed.Rig
 
-// NewRig builds a rig for the given catalog device.
+// NewRig builds a rig for the given catalog device. The harness always
+// fuzzes the paper's Table V testbed, so it resolves the catalog ID to
+// a target spec itself; arbitrary specs go straight to testbed.New.
+// The rig options own the vuln-disable flag, so the spec is resolved
+// armed.
 func NewRig(deviceID string, disableVulns bool) (*Rig, error) {
-	return testbed.New(deviceID, testbed.Options{DisableVulns: disableVulns})
+	spec, err := device.CatalogSpec(deviceID, false)
+	if err != nil {
+		return nil, err
+	}
+	return testbed.New(spec, testbed.Options{DisableVulns: disableVulns})
 }
 
 // l2fuzzAdapter gives the core fuzzer the baseline interface.

@@ -1,8 +1,13 @@
 // Package testbed builds the standard single-target measurement rig —
-// a fresh radio medium, one catalog target device, a tester client and
-// a Wireshark-style trace sniffer — shared by the evaluation harness
-// and the fleet orchestrator so the two layers cannot drift apart in
-// how they wire a testbed.
+// a fresh radio medium, one target device, a tester client and a
+// Wireshark-style trace sniffer — shared by the evaluation harness and
+// the fleet orchestrator so the two layers cannot drift apart in how
+// they wire a testbed.
+//
+// The target is a first-class device.Spec, not a catalog ID: the
+// catalog's eight Table V devices come from device.CatalogSpec, and any
+// other validated Spec — custom port maps, vendor profiles, injected
+// defects — builds the same rig through the same path.
 package testbed
 
 import (
@@ -31,33 +36,38 @@ type Rig struct {
 
 // Options selects the rig variant.
 type Options struct {
-	// DisableVulns builds the target measurement-grade: catalog defects
-	// disabled, as the paper's 100,000-packet measurements require the
-	// device to survive.
+	// DisableVulns builds the target measurement-grade: its injected
+	// defects disabled, as the paper's 100,000-packet measurements
+	// require the device to survive.
 	DisableVulns bool
 	// RFCOMM prepares the target for RFCOMM fuzzing: the RFCOMM port is
-	// opened pairing-free, the standard serial services are mounted,
-	// and — unless DisableVulns is set — devices the paper found
-	// vulnerable also carry the reserved-DLCI mux defect.
+	// opened pairing-free, the standard serial services are mounted when
+	// the spec brings none of its own, and — unless vulns are disabled —
+	// specs expected to be vulnerable also carry the reserved-DLCI mux
+	// defect.
 	RFCOMM bool
 	// TesterName names the tester endpoint; empty means "test-machine".
 	TesterName string
 }
 
-// New builds a rig for the given catalog device ("D1".."D8").
-func New(deviceID string, opts Options) (*Rig, error) {
-	entry, err := device.CatalogEntryByID(deviceID, opts.DisableVulns)
-	if err != nil {
-		return nil, err
+// New builds a rig around one target spec.
+func New(spec device.Spec, opts Options) (*Rig, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
 	}
-	dcfg := entry.Config
+	dcfg := spec.Config
+	if opts.DisableVulns {
+		dcfg.DisableVulns = true
+	}
 	if opts.RFCOMM {
 		dcfg.Ports = rfcommPorts(dcfg.Ports)
-		dcfg.RFCOMMServices = []rfcomm.Service{
-			{Channel: 1, Name: "Serial Port Profile"},
-			{Channel: 2, Name: "Hands-Free"},
+		if len(dcfg.RFCOMMServices) == 0 {
+			dcfg.RFCOMMServices = []rfcomm.Service{
+				{Channel: 1, Name: "Serial Port Profile"},
+				{Channel: 2, Name: "Hands-Free"},
+			}
 		}
-		if entry.ExpectVuln && !opts.DisableVulns {
+		if spec.ExpectVuln && !dcfg.DisableVulns && dcfg.RFCOMMDefect == nil {
 			dcfg.RFCOMMDefect = rfcomm.ReservedDLCIDefect()
 		}
 	}
@@ -83,7 +93,8 @@ func New(deviceID string, opts Options) (*Rig, error) {
 }
 
 // rfcommPorts rewrites a port list so the RFCOMM port exists and is
-// reachable without pairing.
+// reachable without pairing: an existing port is made pairing-free in
+// place, a missing one is appended.
 func rfcommPorts(ports []device.ServicePort) []device.ServicePort {
 	out := append([]device.ServicePort(nil), ports...)
 	for i, p := range out {

@@ -29,11 +29,13 @@
 // state-coverage measurements.
 //
 // Beyond one simulation at a time, RunFleet orchestrates a parallel
-// fuzzing farm: a job matrix of catalog devices × fuzzer kinds ×
-// configuration variants × seed shards executed on a bounded worker
-// pool, with findings de-duplicated across devices and trace metrics
-// merged into one report (the variant axis reproduces the paper's §IV-D
-// ablation grid in one run — see FleetAblationVariants):
+// fuzzing farm: a job matrix of targets × fuzzer kinds × configuration
+// variants × seed shards executed on a bounded worker pool, with
+// findings de-duplicated across devices and trace metrics merged into
+// one report. The target axis is programmable: catalog IDs and custom
+// DeviceSpec values (FleetDeviceSpec, ParseDeviceSpec) fuzz side by
+// side, and the variant axis reproduces the paper's §IV-D ablation
+// grid in one run — see FleetAblationVariants:
 //
 //	report, err := l2fuzz.RunFleet(l2fuzz.FleetConfig{
 //	    Kinds:   []l2fuzz.FleetKind{l2fuzz.FleetL2Fuzz, l2fuzz.FleetCampaign},
@@ -96,6 +98,16 @@ type (
 	Metrics = metrics.Summary
 	// DeviceProfile is a vendor host-stack behaviour profile.
 	DeviceProfile = device.Profile
+	// DeviceSpec is a first-class fuzzing target: a name, a full device
+	// configuration and optional expected-defect metadata. The catalog
+	// is eight predefined specs (CatalogDeviceSpec); custom specs open
+	// the target axis to devices the paper never named — build them
+	// with FleetDeviceSpec, decode them with ParseDeviceSpec, run them
+	// through Simulation.AddDeviceSpec or FleetConfig.CustomDevices.
+	DeviceSpec = device.Spec
+	// DeviceVulnSpec is one injected implementation defect a custom
+	// target's profile may carry.
+	DeviceVulnSpec = device.VulnSpec
 	// ServicePort is one exposed L2CAP service.
 	ServicePort = device.ServicePort
 	// BaselineResult is the outcome of a baseline fuzzer run.
@@ -111,8 +123,9 @@ type (
 	CampaignReport = campaign.Report
 	// RootCause is a structured crash root-cause analysis.
 	RootCause = triage.Report
-	// FleetConfig describes a fuzzing-farm job matrix (devices ×
-	// fuzzer kinds × seed shards) and its worker pool.
+	// FleetConfig describes a fuzzing-farm job matrix (targets —
+	// catalog IDs plus custom DeviceSpecs — × fuzzer kinds × variants ×
+	// seed shards) and its worker pool.
 	FleetConfig = fleet.Config
 	// FleetReport is the aggregated farm outcome: de-duplicated
 	// findings, per-device/per-fuzzer breakdowns, merged metrics.
@@ -235,6 +248,75 @@ var (
 	WindowsProfile = device.WindowsProfile
 )
 
+// Injected-defect constructors, re-exported so custom target specs can
+// arm the catalog's four findings with their own calibration (pass the
+// result to a profile constructor's vulns parameter).
+var (
+	// BlueDroidCCBNullDeref is the D1/D2 null-CCB dereference (DoS).
+	BlueDroidCCBNullDeref = device.BlueDroidCCBNullDeref
+	// SamsungCreateChannelDeref is the D3 create-channel dereference (DoS).
+	SamsungCreateChannelDeref = device.SamsungCreateChannelDeref
+	// RTKitPSMServiceKill is the D5 malicious-PSM termination (Crash).
+	RTKitPSMServiceKill = device.RTKitPSMServiceKill
+	// BlueZOptionOverrunGPF is the D8 option-parsing fault (Crash).
+	BlueZOptionOverrunGPF = device.BlueZOptionOverrunGPF
+)
+
+// FleetDeviceSpec builds a custom farm target spec from a name, MAC
+// address, stack profile and port list: the fleet analogue of
+// AddCustomDevice. The name identifies the target across seeds, packet
+// budgets and report sections, so it must be unique within a farm and
+// must not reuse a catalog ID. A profile carrying injected defects
+// marks the spec ExpectVuln with the first defect's class.
+func FleetDeviceSpec(name, mac string, profile DeviceProfile, ports []ServicePort) (DeviceSpec, error) {
+	addr, err := radio.ParseBDAddr(mac)
+	if err != nil {
+		return DeviceSpec{}, fmt.Errorf("l2fuzz: %w", err)
+	}
+	spec := DeviceSpec{
+		Name: name,
+		Config: device.Config{
+			Addr:    addr,
+			Name:    name,
+			Profile: profile,
+			Ports:   ports,
+		},
+		ExpectVuln: len(profile.Vulns) > 0,
+	}
+	if spec.ExpectVuln {
+		spec.ExpectClass = profile.Vulns[0].Class
+	}
+	if err := spec.Validate(); err != nil {
+		return DeviceSpec{}, fmt.Errorf("l2fuzz: %w", err)
+	}
+	return spec, nil
+}
+
+// ParseDeviceSpec decodes the JSON form of a target spec — the format
+// cmd/l2farm's -device-file flag reads. Malformed documents are
+// rejected with the line and column of the error.
+func ParseDeviceSpec(data []byte) (DeviceSpec, error) {
+	spec, err := device.DecodeSpec(data)
+	if err != nil {
+		return DeviceSpec{}, fmt.Errorf("l2fuzz: %w", err)
+	}
+	return spec, nil
+}
+
+// CatalogDeviceIDs returns the paper's Table V device IDs in catalog
+// order.
+func CatalogDeviceIDs() []string { return device.CatalogIDs() }
+
+// CatalogDeviceSpec returns one of the paper's Table V devices
+// ("D1".."D8") as a target spec with its injected defects armed.
+func CatalogDeviceSpec(id string) (DeviceSpec, error) {
+	spec, err := device.CatalogSpec(id, false)
+	if err != nil {
+		return DeviceSpec{}, fmt.Errorf("l2fuzz: %w", err)
+	}
+	return spec, nil
+}
+
 // BaselineName selects a comparison fuzzer.
 type BaselineName string
 
@@ -314,6 +396,22 @@ func (s *Simulation) addCatalog(id string, disableVulns bool) (string, error) {
 	}
 	s.devices[id] = d
 	return id, nil
+}
+
+// AddDeviceSpec instantiates a first-class target spec in the
+// simulation, tracking it under the spec's name. Catalog specs
+// (CatalogDeviceSpec), decoded specs (ParseDeviceSpec) and hand-built
+// ones all go through the same path.
+func (s *Simulation) AddDeviceSpec(spec DeviceSpec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", fmt.Errorf("l2fuzz: %w", err)
+	}
+	d, err := device.New(s.medium, spec.Config)
+	if err != nil {
+		return "", fmt.Errorf("l2fuzz: %w", err)
+	}
+	s.devices[spec.Name] = d
+	return spec.Name, nil
 }
 
 // AddCustomDevice instantiates a device from a profile and port list. The

@@ -297,3 +297,83 @@ func TestFleetStreamingThroughPublicAPI(t *testing.T) {
 			streamed.Metrics.StatesCovered, streamed.Metrics.States, streamed.StateCoverage)
 	}
 }
+
+// TestDeviceSpecThroughPublicAPI drives the target-spec surface end to
+// end: a JSON spec decoded with ParseDeviceSpec fuzzes in a Simulation
+// via AddDeviceSpec, a FleetDeviceSpec-built target joins a farm next
+// to a catalog device via CustomDevices, and the helpers reject the
+// inputs they must.
+func TestDeviceSpecThroughPublicAPI(t *testing.T) {
+	spec, err := l2fuzz.ParseDeviceSpec([]byte(`{
+	  "name": "smart-toaster",
+	  "addr": "02:42:AC:11:00:02",
+	  "profile": {"stack": "bluez", "btVersion": "5.0"},
+	  "ports": [{"psm": 1, "name": "Service Discovery"}, {"psm": 4097, "name": "toast-control"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := l2fuzz.NewSimulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := sim.AddDeviceSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != "smart-toaster" {
+		t.Errorf("tracked as %q, want the spec name", target)
+	}
+	report, err := sim.RunL2Fuzz(target, l2fuzz.FuzzConfig{Seed: 3, MaxPackets: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.PacketsSent == 0 {
+		t.Error("decoded spec fuzzed zero packets")
+	}
+
+	// A defect-armed API-built spec in a farm next to a catalog device.
+	cam, err := l2fuzz.FleetDeviceSpec("iot-cam", "02:EE:10:00:00:01",
+		l2fuzz.BlueDroidProfile("5.1", "vendor/iotcam:13",
+			l2fuzz.BlueDroidCCBNullDeref(0x40, 2, true)),
+		[]l2fuzz.ServicePort{{PSM: 0x1001, Name: "camera-control"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cam.ExpectVuln {
+		t.Error("defect-armed spec not marked ExpectVuln")
+	}
+	farm, err := l2fuzz.RunFleet(l2fuzz.FleetConfig{
+		Devices:          []string{"D4"},
+		CustomDevices:    []l2fuzz.DeviceSpec{cam},
+		BaseSeed:         7,
+		Workers:          2,
+		MaxPacketsPerJob: 20_000,
+		Budgets:          map[string]int{"iot-cam": 10_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if farm.PerDevice["iot-cam"] == nil || farm.PerDevice["D4"] == nil {
+		t.Fatalf("per-device sections = %v, want D4 and iot-cam", farm.PerDevice)
+	}
+	if len(farm.FindingsOn("iot-cam")) == 0 {
+		t.Error("widened defect surfaced no finding on the custom target")
+	}
+
+	if _, err := l2fuzz.ParseDeviceSpec([]byte("{\n  \"name\": 7\n}")); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("malformed spec error %v carries no line position", err)
+	}
+	if _, err := l2fuzz.FleetDeviceSpec("", "02:00:00:00:00:01", l2fuzz.BTWProfile("5.0"), nil); err == nil {
+		t.Error("nameless FleetDeviceSpec accepted")
+	}
+	if got := l2fuzz.CatalogDeviceIDs(); len(got) != 8 || got[0] != "D1" || got[7] != "D8" {
+		t.Errorf("CatalogDeviceIDs() = %v", got)
+	}
+	if spec, err := l2fuzz.CatalogDeviceSpec("D5"); err != nil || spec.Name != "D5" || !spec.ExpectVuln {
+		t.Errorf("CatalogDeviceSpec(D5) = %+v, %v", spec, err)
+	}
+	if _, err := l2fuzz.CatalogDeviceSpec("D9"); err == nil {
+		t.Error("CatalogDeviceSpec(D9) accepted")
+	}
+}
