@@ -18,6 +18,14 @@
 // per-job packet budget for a single target, spending the farm's time
 // where the devices need it.
 //
+// The -corpus flag makes the farm's findings durable: every new
+// finding's recorded repro trace is written into the given corpus
+// directory as it streams in, and findings whose signature the corpus
+// already holds are reported as "(known)" instead of announced as new —
+// so repeated farms over one corpus only ever surface genuinely new
+// crashes. Stored findings are replayed, minimized and triaged with the
+// companion l2repro command.
+//
 // The -device-file flag (repeatable) opens the target axis beyond the
 // Table V catalog: each file holds one JSON target spec — name, BD_ADDR,
 // stack profile, port map, optional named defects and RFCOMM services
@@ -32,8 +40,8 @@
 //	l2farm [-devices all|none|D1,D2,...] [-fuzzers l2fuzz,defensics,bfuzz,bss,rfcomm,campaign]
 //	       [-ablations all|baseline,no-state-guiding,all-fields,no-garbage]
 //	       [-device-file spec.json]... [-shards 1] [-workers 0] [-seed 1]
-//	       [-max-packets 250000] [-budget D3=500000]... [-measure] [-quiet]
-//	       [-stream] [-dump]
+//	       [-max-packets 250000] [-budget D3=500000]... [-corpus dir]
+//	       [-measure] [-quiet] [-stream] [-dump]
 //
 // Examples:
 //
@@ -45,6 +53,7 @@
 //	l2farm -budget D4=100000 -budget D6=100000
 //	l2farm -device-file toaster.json -budget smart-toaster=500000
 //	l2farm -devices none -device-file a.json -device-file b.json
+//	l2farm -corpus findings/ -fuzzers all   # durable, de-duplicated across runs
 package main
 
 import (
@@ -176,6 +185,7 @@ func run() error {
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		seed       = flag.Int64("seed", 1, "farm base seed")
 		maxPackets = flag.Int("max-packets", 0, "per-job packet budget (0 = library default)")
+		corpusDir  = flag.String("corpus", "", "persist findings with repro traces into this corpus directory; known signatures are reported as such (replay them with l2repro)")
 		measure    = flag.Bool("measure", false, "measurement-grade targets: defects disabled, metrics only")
 		quiet      = flag.Bool("quiet", false, "suppress per-job progress lines")
 		stream     = flag.Bool("stream", false, "print de-duplicated findings as they land")
@@ -195,6 +205,13 @@ func run() error {
 	}
 	if len(budgets) > 0 {
 		cfg.Budgets = budgets
+	}
+	if *corpusDir != "" {
+		store, err := l2fuzz.OpenCorpus(*corpusDir)
+		if err != nil {
+			return err
+		}
+		cfg.Corpus = store
 	}
 	switch *devices {
 	case "all":

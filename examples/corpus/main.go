@@ -1,0 +1,98 @@
+// Example corpus closes the loop the paper's §V leaves open: findings
+// as durable, reproducible artefacts. A farm runs with a corpus store
+// attached, so every finding's repro trace is persisted as it streams
+// in; one stored finding is then reloaded, replayed against a fresh
+// rig to prove the crash still fires, delta-debugged down to a minimal
+// witness, and triaged from the freshly reproduced crash artefact.
+// A second farm over the same corpus then reports every signature as
+// known — repeated farms only ever surface genuinely new crashes.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"l2fuzz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "corpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "l2fuzz-corpus-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := l2fuzz.OpenCorpus(dir)
+	if err != nil {
+		return err
+	}
+
+	// A farm over the two fast-crashing Table V targets, corpus-backed:
+	// D5's RFCOMM mux defect and D2's campaign-findable CCB dereference
+	// both land in the store as they are found.
+	cfg := l2fuzz.FleetConfig{
+		Devices:          []string{"D2", "D5"},
+		Kinds:            []l2fuzz.FleetKind{l2fuzz.FleetCampaign, l2fuzz.FleetRFCOMM},
+		BaseSeed:         7,
+		Workers:          4,
+		MaxPacketsPerJob: 250_000,
+		Corpus:           store,
+	}
+	fmt.Println("--- first farm run (empty corpus) ---")
+	report, err := l2fuzz.RunFleet(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Render())
+	if report.Corpus.Saved == 0 {
+		return fmt.Errorf("farm persisted no findings")
+	}
+
+	// Reload a stored finding and prove it reproduces on a fresh rig.
+	entries, err := store.Entries()
+	if err != nil {
+		return err
+	}
+	entry := entries[0]
+	fmt.Printf("\n--- replaying %s (%d recorded ops, found via %s on %s) ---\n",
+		entry.Signature, len(entry.Trace.Ops), entry.Kind, entry.Trace.Target)
+	res, err := l2fuzz.ReplayCorpusEntry(entry, l2fuzz.CorpusReplayConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reproduced: %v (observed %s)\n", res.Reproduced, res.Signature)
+
+	// Delta-debug the trace to a minimal witness and triage it.
+	minimized, err := l2fuzz.MinimizeCorpusEntry(entry, l2fuzz.CorpusMinimizeConfig{
+		MaxReplays: 512,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("minimized: %d ops -> %d ops in %d replays\n",
+		minimized.Before, minimized.After, minimized.Replays)
+	final, err := l2fuzz.ReplayCorpusEntry(minimized.Entry, l2fuzz.CorpusReplayConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("minimal witness still reproduces: %v\n\n%s\n", final.Reproduced, final.RootCause.Render())
+
+	// The same farm again: nothing is new, everything is known.
+	fmt.Println("\n--- second farm run (same corpus) ---")
+	report2, err := l2fuzz.RunFleet(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report2.Render())
+	if report2.Corpus.Known == 0 || report2.Corpus.Saved != 0 {
+		return fmt.Errorf("second run did not recognise the stored findings: %+v", report2.Corpus)
+	}
+	fmt.Println("\nsecond run re-reported nothing as new: the corpus de-duplicates across runs.")
+	return nil
+}

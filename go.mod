@@ -1,3 +1,3 @@
 module l2fuzz
 
-go 1.24
+go 1.24.0

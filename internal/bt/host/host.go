@@ -37,10 +37,11 @@ type Client struct {
 	ctrl   *hci.Controller
 	medium *radio.Medium
 
-	handles map[radio.BDAddr]hci.ConnHandle
-	inbox   []l2cap.Packet
-	nextID  uint8
-	nextCID l2cap.CID
+	handles  map[radio.BDAddr]hci.ConnHandle
+	inbox    []l2cap.Packet
+	nextID   uint8
+	nextCID  l2cap.CID
+	recorder *TraceRecorder
 }
 
 // NewClient registers a tester endpoint on the medium.
@@ -87,6 +88,11 @@ func (c *Client) Connect(peer radio.BDAddr) error {
 		return fmt.Errorf("connect %v: %w", peer, err)
 	}
 	c.handles[peer] = h
+	if c.recorder != nil {
+		// Only a successful page changes peer-visible state; failed
+		// attempts leave nothing for a replay to redo.
+		c.recorder.record(TraceOp{Kind: TraceConnect})
+	}
 	return nil
 }
 
@@ -99,6 +105,9 @@ func (c *Client) Connected(peer radio.BDAddr) bool {
 // Disconnect drops the baseband link to peer and clears all local state
 // for it, so a later Connect performs a genuine fresh page.
 func (c *Client) Disconnect(peer radio.BDAddr) {
+	if c.recorder != nil {
+		c.recorder.record(TraceOp{Kind: TraceDisconnect})
+	}
 	delete(c.handles, peer)
 	if h, ok := c.ctrl.HandleFor(peer); ok {
 		_ = c.ctrl.Disconnect(h)
@@ -129,15 +138,13 @@ func (c *Client) NextSourceCID() l2cap.CID {
 // as ErrNotConnected (wrapped), which the vulnerability detector maps to
 // its connection-error classes.
 func (c *Client) Send(peer radio.BDAddr, pkt l2cap.Packet) error {
-	h, ok := c.handles[peer]
-	if !ok {
+	// The handle check also lives in SendRaw; repeating it here skips
+	// the marshal on link-less sends, which fuzzers hit in bursts while
+	// hammering an already-dead target between liveness probes.
+	if _, ok := c.handles[peer]; !ok {
 		return fmt.Errorf("%w: %v", ErrNotConnected, peer)
 	}
-	if err := c.ctrl.SendL2CAP(h, pkt.Marshal()); err != nil {
-		c.Disconnect(peer)
-		return fmt.Errorf("%w: %v (%v)", ErrNotConnected, peer, err)
-	}
-	return nil
+	return c.SendRaw(peer, pkt.Marshal())
 }
 
 // SendCommand wraps a signaling command (with optional garbage tail) and

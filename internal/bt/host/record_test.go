@@ -1,0 +1,125 @@
+package host_test
+
+import (
+	"testing"
+
+	"l2fuzz/internal/bt/device"
+	"l2fuzz/internal/bt/host"
+	"l2fuzz/internal/bt/l2cap"
+	"l2fuzz/internal/bt/radio"
+)
+
+// recordRig builds a medium with one recorded client and one echo-happy
+// target device.
+func recordRig(t *testing.T, limit int) (*host.Client, *host.TraceRecorder, radio.BDAddr) {
+	t.Helper()
+	m := radio.NewMedium(nil, radio.DefaultTiming())
+	d, err := device.New(m, device.Config{
+		Addr:    radio.MustBDAddr("AA:00:00:00:00:01"),
+		Name:    "target",
+		Profile: device.BlueZProfile("5.0", "fp"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := host.NewClient(m, radio.MustBDAddr("AA:00:00:00:00:02"), "tester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := host.NewTraceRecorder(limit)
+	cl.SetRecorder(rec)
+	return cl, rec, d.Address()
+}
+
+// TestRecorderCapturesClientOps pins what the recorder sees: successful
+// pages, transmitted frames (their exact wire bytes) and link drops, in
+// order — the operation alphabet replay is built on.
+func TestRecorderCapturesClientOps(t *testing.T) {
+	cl, rec, target := recordRig(t, 0)
+	if err := cl.Connect(target); err != nil {
+		t.Fatal(err)
+	}
+	pkt := l2cap.SignalPacket(1, &l2cap.EchoReq{Data: []byte("hi")}, []byte{0xAA})
+	if err := cl.Send(target, pkt); err != nil {
+		t.Fatal(err)
+	}
+	cl.Disconnect(target)
+
+	ops, truncated := rec.Snapshot()
+	if truncated {
+		t.Fatal("tiny trace reported truncated")
+	}
+	kinds := make([]host.TraceOpKind, len(ops))
+	for i, op := range ops {
+		kinds[i] = op.Kind
+	}
+	want := []host.TraceOpKind{host.TraceConnect, host.TraceSend, host.TraceDisconnect}
+	if len(kinds) != len(want) {
+		t.Fatalf("recorded ops %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("recorded ops %v, want %v", kinds, want)
+		}
+	}
+	if string(ops[1].Data) != string(pkt.Marshal()) {
+		t.Errorf("recorded wire bytes differ from the marshaled packet")
+	}
+
+	// A replayed snapshot is a copy: later ops must not reach it.
+	_ = cl.Connect(target)
+	if rec.Len() != 4 {
+		t.Fatalf("recorder has %d ops, want 4", rec.Len())
+	}
+	if len(ops) != 3 {
+		t.Errorf("snapshot grew with the recorder")
+	}
+
+	rec.Reset()
+	if rec.Len() != 0 || rec.Truncated() {
+		t.Errorf("Reset left ops=%d truncated=%v", rec.Len(), rec.Truncated())
+	}
+}
+
+// TestRecorderTruncation: outgrowing the limit keeps the head (a
+// headless trace could never replay) and marks the trace truncated.
+func TestRecorderTruncation(t *testing.T) {
+	cl, rec, target := recordRig(t, 2)
+	if err := cl.Connect(target); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		_ = cl.Send(target, l2cap.SignalPacket(uint8(i+1), &l2cap.EchoReq{}, nil))
+	}
+	ops, truncated := rec.Snapshot()
+	if !truncated || len(ops) != 2 {
+		t.Fatalf("got %d ops truncated=%v, want the first 2 ops marked truncated", len(ops), truncated)
+	}
+	if ops[0].Kind != host.TraceConnect {
+		t.Errorf("truncation dropped the trace head")
+	}
+	rec.Reset()
+	if rec.Truncated() {
+		t.Error("Reset did not clear truncation")
+	}
+}
+
+// TestSendRawBytesUntouched: SendRaw must put the given bytes on the
+// air verbatim — the device answers the echo exactly as if the packet
+// had gone through Send.
+func TestSendRawBytesUntouched(t *testing.T) {
+	cl, _, target := recordRig(t, 0)
+	if err := cl.Connect(target); err != nil {
+		t.Fatal(err)
+	}
+	wire := l2cap.SignalPacket(7, &l2cap.EchoReq{Data: []byte("raw")}, nil).Marshal()
+	if err := cl.SendRaw(target, wire); err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range cl.DrainCommands() {
+		if rsp, ok := cmd.(*l2cap.EchoRsp); ok && string(rsp.Data) == "raw" {
+			return
+		}
+	}
+	t.Fatal("no echo response to a raw-sent echo request")
+}

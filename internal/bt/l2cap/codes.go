@@ -70,36 +70,40 @@ func (c CommandCode) IsRequest() bool {
 	}
 }
 
+// commandCodeNames is built once: String sits on the device's per-packet
+// dispatch path (handler-coverage accounting), where a map literal per
+// call dominated the farm's allocation profile.
+var commandCodeNames = map[CommandCode]string{
+	CodeCommandReject:         "CommandReject",
+	CodeConnectionReq:         "ConnectionReq",
+	CodeConnectionRsp:         "ConnectionRsp",
+	CodeConfigurationReq:      "ConfigurationReq",
+	CodeConfigurationRsp:      "ConfigurationRsp",
+	CodeDisconnectionReq:      "DisconnectionReq",
+	CodeDisconnectionRsp:      "DisconnectionRsp",
+	CodeEchoReq:               "EchoReq",
+	CodeEchoRsp:               "EchoRsp",
+	CodeInformationReq:        "InformationReq",
+	CodeInformationRsp:        "InformationRsp",
+	CodeCreateChannelReq:      "CreateChannelReq",
+	CodeCreateChannelRsp:      "CreateChannelRsp",
+	CodeMoveChannelReq:        "MoveChannelReq",
+	CodeMoveChannelRsp:        "MoveChannelRsp",
+	CodeMoveChannelConfirmReq: "MoveChannelConfirmReq",
+	CodeMoveChannelConfirmRsp: "MoveChannelConfirmRsp",
+	CodeConnParamUpdateReq:    "ConnParamUpdateReq",
+	CodeConnParamUpdateRsp:    "ConnParamUpdateRsp",
+	CodeLECreditConnReq:       "LECreditConnReq",
+	CodeLECreditConnRsp:       "LECreditConnRsp",
+	CodeFlowControlCredit:     "FlowControlCredit",
+	CodeCreditBasedConnReq:    "CreditBasedConnReq",
+	CodeCreditBasedConnRsp:    "CreditBasedConnRsp",
+	CodeCreditBasedReconfReq:  "CreditBasedReconfReq",
+	CodeCreditBasedReconfRsp:  "CreditBasedReconfRsp",
+}
+
 func (c CommandCode) String() string {
-	names := map[CommandCode]string{
-		CodeCommandReject:         "CommandReject",
-		CodeConnectionReq:         "ConnectionReq",
-		CodeConnectionRsp:         "ConnectionRsp",
-		CodeConfigurationReq:      "ConfigurationReq",
-		CodeConfigurationRsp:      "ConfigurationRsp",
-		CodeDisconnectionReq:      "DisconnectionReq",
-		CodeDisconnectionRsp:      "DisconnectionRsp",
-		CodeEchoReq:               "EchoReq",
-		CodeEchoRsp:               "EchoRsp",
-		CodeInformationReq:        "InformationReq",
-		CodeInformationRsp:        "InformationRsp",
-		CodeCreateChannelReq:      "CreateChannelReq",
-		CodeCreateChannelRsp:      "CreateChannelRsp",
-		CodeMoveChannelReq:        "MoveChannelReq",
-		CodeMoveChannelRsp:        "MoveChannelRsp",
-		CodeMoveChannelConfirmReq: "MoveChannelConfirmReq",
-		CodeMoveChannelConfirmRsp: "MoveChannelConfirmRsp",
-		CodeConnParamUpdateReq:    "ConnParamUpdateReq",
-		CodeConnParamUpdateRsp:    "ConnParamUpdateRsp",
-		CodeLECreditConnReq:       "LECreditConnReq",
-		CodeLECreditConnRsp:       "LECreditConnRsp",
-		CodeFlowControlCredit:     "FlowControlCredit",
-		CodeCreditBasedConnReq:    "CreditBasedConnReq",
-		CodeCreditBasedConnRsp:    "CreditBasedConnRsp",
-		CodeCreditBasedReconfReq:  "CreditBasedReconfReq",
-		CodeCreditBasedReconfRsp:  "CreditBasedReconfRsp",
-	}
-	if n, ok := names[c]; ok {
+	if n, ok := commandCodeNames[c]; ok {
 		return n
 	}
 	return fmt.Sprintf("CommandCode(0x%02X)", uint8(c))

@@ -18,9 +18,7 @@ import (
 
 	"l2fuzz/internal/bt/device"
 	"l2fuzz/internal/bt/host"
-	"l2fuzz/internal/bt/l2cap"
 	"l2fuzz/internal/bt/radio"
-	"l2fuzz/internal/bt/sm"
 	"l2fuzz/internal/core"
 )
 
@@ -54,6 +52,8 @@ func DefaultConfig(seed int64) Config {
 }
 
 // FindingRecord is one de-duplicated finding with its occurrence count.
+// The first occurrence's recorded repro trace, when the campaign client
+// carries a host.TraceRecorder, rides along in Finding.Trace.
 type FindingRecord struct {
 	// Finding is the first occurrence.
 	Finding core.Finding
@@ -61,13 +61,6 @@ type FindingRecord struct {
 	Count int
 	// Dump is the device-side artefact of the first occurrence.
 	Dump string
-}
-
-// signature keys de-duplication.
-type signature struct {
-	state sm.State
-	psm   l2cap.PSM
-	class core.ErrorClass
 }
 
 // Report is the campaign outcome.
@@ -111,7 +104,10 @@ func New(cl *host.Client, dev *device.Device, cfg Config) *Runner {
 // Run executes the campaign.
 func (r *Runner) Run() (*Report, error) {
 	report := &Report{}
-	seen := make(map[signature]int) // signature → index into Findings
+	// De-duplication keys by the shared core.Signature, the same triple
+	// the fleet and the persistent corpus key by, so a campaign finding
+	// can never dedup differently from its farm-level record.
+	seen := make(map[core.Signature]int) // signature → index into Findings
 	dry := 0
 
 	for run := 0; run < r.cfg.MaxRuns && dry < r.cfg.StopAfterDryRuns; run++ {
@@ -134,7 +130,7 @@ func (r *Runner) Run() (*Report, error) {
 			continue
 		}
 		dry = 0
-		sig := signature{state: res.Finding.State, psm: res.Finding.PSM, class: res.Finding.Error}
+		sig := res.Finding.Signature()
 		if idx, ok := seen[sig]; ok {
 			report.Findings[idx].Count++
 		} else {
@@ -152,6 +148,12 @@ func (r *Runner) Run() (*Report, error) {
 			return nil, fmt.Errorf("campaign reset after run %d: %w", run+1, err)
 		}
 		report.Resets++
+		// The reset wiped device state no packet caused, so any recorded
+		// trace spanning it could not replay on a fresh rig. Start a new
+		// trace epoch at the same point the device restarts from.
+		if rec := r.cl.Recorder(); rec != nil {
+			rec.Reset()
+		}
 	}
 	return report, nil
 }

@@ -76,20 +76,51 @@ type Finding struct {
 	PSM l2cap.PSM
 	// LastMutation describes the packet sent immediately before death.
 	LastMutation Mutation
+	// Trace is the recorded client operation sequence from the start of
+	// the current trace epoch through detection, populated when a
+	// host.TraceRecorder is attached to the fuzzing client. Replaying it
+	// against a fresh rig reproduces the finding (internal/corpus). The
+	// corpus stores the trace under its own schema, so it is excluded
+	// from the finding's JSON form.
+	Trace []host.TraceOp `json:"-"`
+	// TraceTruncated reports the trace outgrew the recorder's limit and
+	// therefore cannot replay faithfully.
+	TraceTruncated bool `json:"-"`
 }
 
 // Severity is the paper's Description column value.
 func (f Finding) Severity() string { return f.Error.Severity() }
+
+// Signature is the black-box identity of a finding: the
+// (state, port, error-class) triple every de-duplicating layer keys by —
+// the campaign runner within one device, the fleet across devices and
+// fuzzer kinds, and the persistent corpus across farm runs. Defining it
+// once here keeps corpus keys and report keys from drifting apart.
+type Signature struct {
+	State sm.State   `json:"state"`
+	PSM   l2cap.PSM  `json:"psm"`
+	Class ErrorClass `json:"class"`
+}
+
+func (s Signature) String() string {
+	return fmt.Sprintf("%v in %v on %v", s.Class, s.State, s.PSM)
+}
+
+// Signature returns the finding's de-duplication key.
+func (f Finding) Signature() Signature {
+	return Signature{State: f.State, PSM: f.PSM, Class: f.Error}
+}
 
 // pingRetries is how many echo attempts the probe makes before declaring
 // a timeout: L2CAP signaling retransmits on its RTX timer, so a single
 // lost frame must not become a finding.
 const pingRetries = 3
 
-// probeLiveness classifies the target's health after a suspicious event:
+// ProbeLiveness classifies the target's health after a suspicious event:
 // the ping test (with retransmission) plus re-page differential
-// diagnosis.
-func probeLiveness(cl *host.Client, addr radio.BDAddr) ErrorClass {
+// diagnosis. Exported because trace replay (the corpus subsystem) must
+// classify a replayed crash exactly as the original detection did.
+func ProbeLiveness(cl *host.Client, addr radio.BDAddr) ErrorClass {
 	var err error
 	for attempt := 0; attempt < pingRetries; attempt++ {
 		if err = cl.Ping(addr); err == nil {

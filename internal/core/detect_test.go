@@ -57,8 +57,8 @@ func classificationRig(t *testing.T) (*radio.Medium, *device.Device, *host.Clien
 
 func TestProbeLivenessHealthy(t *testing.T) {
 	_, d, cl := classificationRig(t)
-	if got := probeLiveness(cl, d.Address()); got != ErrNone {
-		t.Fatalf("probeLiveness(healthy) = %v, want None", got)
+	if got := ProbeLiveness(cl, d.Address()); got != ErrNone {
+		t.Fatalf("ProbeLiveness(healthy) = %v, want None", got)
 	}
 }
 
@@ -69,8 +69,8 @@ func TestProbeLivenessServiceDown(t *testing.T) {
 	m, d, cl := classificationRig(t)
 	d.Controller().SetConnectable(false)
 	m.Drop(cl.Address(), d.Address())
-	if got := probeLiveness(cl, d.Address()); got != ErrConnectionFailed {
-		t.Fatalf("probeLiveness(service down) = %v, want Connection Failed", got)
+	if got := ProbeLiveness(cl, d.Address()); got != ErrConnectionFailed {
+		t.Fatalf("ProbeLiveness(service down) = %v, want Connection Failed", got)
 	}
 }
 
@@ -78,8 +78,8 @@ func TestProbeLivenessDeviceVanished(t *testing.T) {
 	// Firmware crash: the device disappears entirely → Connection Reset.
 	m, d, cl := classificationRig(t)
 	m.Unregister(d.Address())
-	if got := probeLiveness(cl, d.Address()); got != ErrConnectionReset {
-		t.Fatalf("probeLiveness(vanished) = %v, want Connection Reset", got)
+	if got := ProbeLiveness(cl, d.Address()); got != ErrConnectionReset {
+		t.Fatalf("ProbeLiveness(vanished) = %v, want Connection Reset", got)
 	}
 }
 
@@ -87,8 +87,8 @@ func TestProbeLivenessTransientLinkLoss(t *testing.T) {
 	// A dropped link that re-pages fine is not a finding.
 	m, d, cl := classificationRig(t)
 	m.Drop(cl.Address(), d.Address())
-	if got := probeLiveness(cl, d.Address()); got != ErrNone {
-		t.Fatalf("probeLiveness(transient drop) = %v, want None", got)
+	if got := ProbeLiveness(cl, d.Address()); got != ErrNone {
+		t.Fatalf("ProbeLiveness(transient drop) = %v, want None", got)
 	}
 }
 

@@ -131,7 +131,7 @@ func (f *Fuzzer) Run(target radio.BDAddr) (*Report, error) {
 			// the target die with the link, as on a real dongle re-plug.
 			f.cl.Disconnect(target)
 			if err := f.cl.Connect(target); err != nil {
-				class := probeLiveness(f.cl, target)
+				class := ProbeLiveness(f.cl, target)
 				if class != ErrNone {
 					return finish(true, f.newFinding(class, sm.StateClosed, psm, Mutation{}))
 				}
@@ -172,7 +172,7 @@ func (f *Fuzzer) fuzzState(state sm.State, psm l2cap.PSM) (Finding, bool) {
 				continue
 			}
 			f.sincePing = 0
-			class := probeLiveness(f.cl, f.target)
+			class := ProbeLiveness(f.cl, f.target)
 			f.packetsSent++ // the echo probe is a transmitted packet
 			if class == ErrNone {
 				continue
@@ -189,7 +189,7 @@ func (f *Fuzzer) livenessIfSuspicious() ErrorClass {
 	if f.cl.Connected(f.target) {
 		return ErrNone
 	}
-	return probeLiveness(f.cl, f.target)
+	return ProbeLiveness(f.cl, f.target)
 }
 
 func (f *Fuzzer) newFinding(class ErrorClass, state sm.State, psm l2cap.PSM, m Mutation) Finding {
@@ -199,6 +199,9 @@ func (f *Fuzzer) newFinding(class ErrorClass, state sm.State, psm l2cap.PSM, m M
 		State:        state,
 		PSM:          psm,
 		LastMutation: m,
+	}
+	if rec := f.cl.Recorder(); rec != nil {
+		finding.Trace, finding.TraceTruncated = rec.Snapshot()
 	}
 	f.logf("VULNERABILITY: %s (%s) in %v on %v", class, finding.Severity(), state, psm)
 	return finding

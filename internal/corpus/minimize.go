@@ -1,0 +1,104 @@
+package corpus
+
+import "fmt"
+
+// DefaultMaxReplays bounds a minimization run. Every probe costs a full
+// rig build plus a replay of the candidate sequence, so the bound is a
+// wall-clock budget, not a correctness knob: hitting it returns the
+// best (still reproducing) trace found so far.
+const DefaultMaxReplays = 2048
+
+// MinimizeConfig parameterises a minimization.
+type MinimizeConfig struct {
+	ReplayConfig
+	// MaxReplays caps the number of verification replays; zero means
+	// DefaultMaxReplays.
+	MaxReplays int
+}
+
+// MinimizeResult is the outcome of delta-debugging a trace.
+type MinimizeResult struct {
+	// Entry is the input entry with its trace reduced to the minimized
+	// operation sequence (never longer than the input's, and still
+	// reproducing the entry's signature on a fresh rig).
+	Entry Entry
+	// Before and After are the operation counts.
+	Before, After int
+	// Replays is the number of verification replays performed.
+	Replays int
+}
+
+// Minimize delta-debugs an entry's trace: it searches for a minimal
+// operation subsequence that still reproduces the entry's signature on
+// a fresh rig, using the classic ddmin reduce-to-complement loop. The
+// input entry must itself reproduce — a trace that does not reproduce
+// has nothing to minimize and is reported as an error.
+func Minimize(e Entry, cfg MinimizeConfig) (*MinimizeResult, error) {
+	maxReplays := cfg.MaxReplays
+	if maxReplays <= 0 {
+		maxReplays = DefaultMaxReplays
+	}
+	res := &MinimizeResult{Entry: e, Before: len(e.Trace.Ops)}
+
+	reproduces := func(ops []Op) (bool, error) {
+		if res.Replays >= maxReplays {
+			return false, nil
+		}
+		res.Replays++
+		candidate := e
+		candidate.Trace.Ops = ops
+		r, err := Replay(candidate, cfg.ReplayConfig)
+		if err != nil {
+			return false, err
+		}
+		return r.Reproduced, nil
+	}
+
+	ok, err := reproduces(e.Trace.Ops)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("corpus: trace for %v does not reproduce; nothing to minimize", e.Signature)
+	}
+
+	// ddmin over complements: drop one of n chunks at a time; on
+	// success keep the reduced sequence at coarser granularity, on a
+	// full failed sweep refine the granularity until chunks are single
+	// operations.
+	ops := e.Trace.Ops
+	n := 2
+	for len(ops) >= 2 && res.Replays < maxReplays {
+		chunk := (len(ops) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(ops); start += chunk {
+			end := min(start+chunk, len(ops))
+			candidate := make([]Op, 0, len(ops)-(end-start))
+			candidate = append(candidate, ops[:start]...)
+			candidate = append(candidate, ops[end:]...)
+			if len(candidate) == len(ops) {
+				continue
+			}
+			ok, err := reproduces(candidate)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				ops = candidate
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(ops) {
+				break
+			}
+			n = min(2*n, len(ops))
+		}
+	}
+
+	res.Entry.Trace.Ops = ops
+	res.After = len(ops)
+	return res, nil
+}

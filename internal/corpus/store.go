@@ -1,0 +1,158 @@
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"l2fuzz/internal/core"
+)
+
+// Store persists corpus entries as one JSON file per finding signature
+// in a directory. The layout is deliberately boring — `<key>.json`,
+// indented JSON, stable key derivation — so a corpus survives tooling
+// generations and diffs cleanly under version control. A Store performs
+// no locking of its own; the fleet serialises access through its
+// aggregator, and concurrent farms should use separate directories.
+type Store struct {
+	dir string
+}
+
+// Open opens (creating if needed) a corpus directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// KeyOf derives the stable store key of a signature: the error class
+// and state slugs plus the hex port, e.g.
+// "connection-failed--wait-config--0x0001". The derivation is pinned by
+// a golden test — changing it would orphan every existing corpus.
+func KeyOf(sig core.Signature) string {
+	return fmt.Sprintf("%s--%s--0x%04x", slug(sig.Class.String()), slug(sig.State.String()), uint16(sig.PSM))
+}
+
+// slug lowercases and folds non-alphanumerics to single dashes.
+func slug(s string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		case !dash && b.Len() > 0:
+			b.WriteByte('-')
+			dash = true
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Has reports whether an entry for sig is stored.
+func (s *Store) Has(sig core.Signature) bool {
+	_, err := os.Stat(s.path(KeyOf(sig)))
+	return err == nil
+}
+
+// Put writes an entry, replacing any existing one under the same
+// signature. The finding's in-memory trace fields are dropped: the
+// canonical trace is Entry.Trace. The write goes through a temp file
+// and rename, so a crashed writer never leaves a half-written entry
+// behind under the real key.
+func (s *Store) Put(e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	e.Finding.Trace = nil
+	e.Finding.TraceTruncated = false
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("corpus: encode %v: %w", e.Signature, err)
+	}
+	data = append(data, '\n')
+	key := KeyOf(e.Signature)
+	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("corpus: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("corpus: write %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("corpus: write %s: %w", key, err)
+	}
+	return nil
+}
+
+// Get loads the entry stored under sig.
+func (s *Store) Get(sig core.Signature) (Entry, error) {
+	return s.GetKey(KeyOf(sig))
+}
+
+// GetKey loads the entry stored under an explicit key (as listed by
+// Keys — the CLI's addressing scheme).
+func (s *Store) GetKey(key string) (Entry, error) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return Entry{}, fmt.Errorf("corpus: %w", err)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Entry{}, fmt.Errorf("corpus: decode %s: %w", key, err)
+	}
+	return e, nil
+}
+
+// Keys lists the stored entry keys, sorted.
+func (s *Store) Keys() ([]string, error) {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	var keys []string
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(de.Name(), ".json"))
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Entries loads every stored entry, in key order.
+func (s *Store) Entries() ([]Entry, error) {
+	keys, err := s.Keys()
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]Entry, 0, len(keys))
+	for _, key := range keys {
+		e, err := s.GetKey(key)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}

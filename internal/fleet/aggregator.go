@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"l2fuzz/internal/corpus"
 	"l2fuzz/internal/metrics"
 )
 
@@ -30,6 +31,7 @@ type Aggregator struct {
 	perVariant        map[string]*VariantStats
 	recs              map[Signature]*findingAcc
 	metrics           metrics.Summary
+	corpusErrs        []string
 }
 
 // findingAcc is one de-duplicated finding under accumulation, with the
@@ -43,6 +45,12 @@ type findingAcc struct {
 	// dumpIdx is the job index rec.Dump came from; math.MaxInt when the
 	// record has no dump yet.
 	dumpIdx int
+	// entryIdx is the job index whose repro trace is persisted in the
+	// corpus store; math.MaxInt when none is (no store, a Known
+	// signature, or no job contributed a replayable trace yet). Like
+	// dumpIdx it only ever decreases, so the stored trace converges on
+	// the canonical lowest-index job no matter the fold order.
+	entryIdx int
 }
 
 // NewAggregator builds an empty aggregator for cfg's job matrix. The
@@ -128,15 +136,21 @@ func (a *Aggregator) Add(res JobResult) []FindingRecord {
 		dev.Findings += occ.Count
 		kg.Findings += occ.Count
 		vg.Findings += occ.Count
-		sig := Signature{State: occ.Finding.State, PSM: occ.Finding.PSM, Class: occ.Finding.Error}
+		sig := occ.Finding.Signature()
 		acc, seen := a.recs[sig]
 		if !seen {
 			acc = &findingAcc{
-				rec:     FindingRecord{Signature: sig, Finding: occ.Finding},
-				minIdx:  idx,
-				occPos:  pos,
-				dumpIdx: math.MaxInt,
+				rec:      FindingRecord{Signature: sig, Finding: occ.Finding},
+				minIdx:   idx,
+				occPos:   pos,
+				dumpIdx:  math.MaxInt,
+				entryIdx: math.MaxInt,
 			}
+			// Cross-run de-duplication: a signature the store held
+			// before this fold is yesterday's finding reproduced, not a
+			// new one. The check happens once, at first sight — entries
+			// this run writes never turn its own findings Known.
+			acc.rec.Known = a.cfg.Corpus != nil && a.cfg.Corpus.Has(sig)
 			a.recs[sig] = acc
 		} else if idx < acc.minIdx {
 			// An earlier matrix cell contributed the signature: its
@@ -151,11 +165,44 @@ func (a *Aggregator) Add(res JobResult) []FindingRecord {
 			acc.rec.Dump = occ.Dump
 			acc.dumpIdx = idx
 		}
-		if !seen {
+		a.persist(acc, res.Job, occ, idx)
+		if !seen && !acc.rec.Known {
 			fresh = append(fresh, cloneRecord(acc.rec))
 		}
 	}
 	return fresh
+}
+
+// persist writes a new finding's repro trace to the corpus store. Like
+// the dump, the stored trace converges on the lowest job index that
+// contributed a replayable one, so the store's content is independent
+// of worker scheduling; Known signatures are never overwritten.
+func (a *Aggregator) persist(acc *findingAcc, job Job, occ Occurrence, idx int) {
+	if a.cfg.Corpus == nil || acc.rec.Known || idx >= acc.entryIdx {
+		return
+	}
+	trace := corpus.Trace{
+		Seed:      job.Seed,
+		Target:    job.Device,
+		State:     occ.Finding.State,
+		PSM:       occ.Finding.PSM,
+		Ops:       occ.Finding.Trace,
+		Truncated: occ.Finding.TraceTruncated,
+	}
+	if !trace.Replayable() {
+		return
+	}
+	err := a.cfg.Corpus.Put(corpus.Entry{
+		Signature: acc.rec.Signature,
+		Kind:      string(job.Kind),
+		Finding:   occ.Finding,
+		Trace:     trace,
+	})
+	if err != nil {
+		a.corpusErrs = append(a.corpusErrs, err.Error())
+		return
+	}
+	acc.entryIdx = idx
 }
 
 // Snapshot renders the aggregate as a full Report at this moment.
@@ -212,6 +259,19 @@ func (a *Aggregator) Snapshot() *Report {
 	})
 	for _, acc := range accs {
 		rep.Findings = append(rep.Findings, cloneRecord(acc.rec))
+	}
+	if a.cfg.Corpus != nil {
+		cs := &CorpusStats{Errors: append([]string(nil), a.corpusErrs...)}
+		sort.Strings(cs.Errors)
+		for _, acc := range a.recs {
+			switch {
+			case acc.rec.Known:
+				cs.Known++
+			case acc.entryIdx != math.MaxInt:
+				cs.Saved++
+			}
+		}
+		rep.Corpus = cs
 	}
 
 	rep.Metrics.States = append([]string(nil), a.metrics.States...)

@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"l2fuzz/internal/bt/device"
+	"l2fuzz/internal/bt/l2cap"
+	"l2fuzz/internal/bt/radio"
+	"l2fuzz/internal/core"
+	"l2fuzz/internal/corpus"
+)
+
+// corpusMatrix is a multi-job matrix in which two cells (the RFCOMM
+// shards) contribute the same finding signature, so the canonical-trace
+// selection has something to race on.
+func corpusMatrix(workers int, store *corpus.Store) Config {
+	return Config{
+		Devices:          []string{"D5"},
+		Kinds:            []Kind{KindL2Fuzz, KindRFCOMM},
+		Shards:           2,
+		BaseSeed:         7,
+		Workers:          workers,
+		MaxPacketsPerJob: 20_000,
+		Corpus:           store,
+	}
+}
+
+// TestCorpusFarmSchedulingIndependence extends the farm's determinism
+// guarantee to corpus-backed runs: the report (Known flags, corpus
+// stats, recorded traces riding in the findings) and the persisted
+// store content must not depend on worker scheduling.
+func TestCorpusFarmSchedulingIndependence(t *testing.T) {
+	run := func(workers int) (*Report, []corpus.Entry) {
+		store, err := corpus.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(corpusMatrix(workers, store))
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := store.Entries()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, entries
+	}
+	serialRep, serialEntries := run(1)
+	parallelRep, parallelEntries := run(8)
+
+	if len(serialRep.Findings) == 0 {
+		t.Fatal("matrix produced no findings; the comparison would be vacuous")
+	}
+	if serialRep.Corpus == nil || serialRep.Corpus.Saved != len(serialEntries) {
+		t.Fatalf("corpus stats %+v disagree with %d stored entries", serialRep.Corpus, len(serialEntries))
+	}
+	serialRep.Wall, parallelRep.Wall = 0, 0
+	serialRep.Workers, parallelRep.Workers = 0, 0
+	if !reflect.DeepEqual(serialRep, parallelRep) {
+		t.Errorf("corpus-backed reports differ between worker counts:\nserial:   %+v\nparallel: %+v",
+			serialRep, parallelRep)
+	}
+	if !reflect.DeepEqual(serialEntries, parallelEntries) {
+		t.Errorf("persisted corpus content differs between worker counts")
+	}
+	for _, e := range serialEntries {
+		if !e.Trace.Replayable() {
+			t.Errorf("stored entry %v is not replayable", e.Signature)
+		}
+		if e.Finding.Trace != nil {
+			t.Errorf("stored entry %v duplicates the trace inside the finding", e.Signature)
+		}
+	}
+}
+
+// TestVariantRaisedBudgetDoesNotTruncateTrace is the regression test
+// for sizing the trace recorder before variant hooks run: a Core hook
+// may raise a job's packet cap far past the matrix budget, and a
+// finding landing beyond the pre-resolution estimate must still record
+// a complete, persistable trace. The target's defect fires only after
+// more commands than the unresolved budget's trace limit would hold.
+func TestVariantRaisedBudgetDoesNotTruncateTrace(t *testing.T) {
+	const fireAfter = 10_000
+	calls := 0
+	spec := device.Spec{
+		Name: "slow-burn",
+		Config: device.Config{
+			Addr: radio.MustBDAddr("02:EE:40:00:00:01"),
+			Name: "Slow Burn",
+			Profile: device.BlueDroidProfile("5.1", "vendor/slowburn:13/TQ3A/1:user/release-keys",
+				device.VulnSpec{
+					ID:          "test-slow-burn",
+					Description: "fires only deep into the run",
+					Class:       device.ClassDoS,
+					Dump:        device.DumpTombstone,
+					FaultFunc:   "l2c_csm_execute(test)",
+					// Stateful on purpose: the crash lands at a command
+					// count past the pre-resolution trace limit. (This
+					// also means the spec instance cannot be reused for
+					// a replay — irrelevant here, where the property
+					// under test is trace completeness.)
+					Trigger: func(device.TriggerContext) bool {
+						calls++
+						return calls >= fireAfter
+					},
+				}),
+			Ports: []device.ServicePort{
+				{PSM: l2cap.PSMSDP, Name: "Service Discovery"},
+				{PSM: l2cap.PSMDynamicFirst, Name: "vendor-service"},
+			},
+		},
+		ExpectVuln:  true,
+		ExpectClass: device.ClassDoS,
+	}
+	store, err := corpus.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{
+		CustomDevices: []device.Spec{spec},
+		Variants: []Variant{{
+			Name: "deep",
+			Core: func(c *core.Config) { c.MaxPackets = 20 * fireAfter },
+		}},
+		BaseSeed: 3,
+		Workers:  1,
+		// Small matrix budget: the pre-resolution trace-limit estimate
+		// from this cannot hold a finding at fireAfter commands.
+		MaxPacketsPerJob: 1_000,
+		Corpus:           store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %+v, want the deep finding", rep.Findings)
+	}
+	if rep.Corpus.Saved != 1 || len(rep.Corpus.Errors) != 0 {
+		t.Fatalf("corpus stats = %+v, want the deep finding's trace saved", rep.Corpus)
+	}
+	entry, err := store.Get(rep.Findings[0].Signature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !entry.Trace.Replayable() {
+		t.Fatalf("stored trace truncated=%v ops=%d, want a complete trace", entry.Trace.Truncated, len(entry.Trace.Ops))
+	}
+	if len(entry.Trace.Ops) <= traceLimit(1_000) {
+		t.Fatalf("trace has %d ops, within the pre-resolution limit %d — the test no longer exercises the raise",
+			len(entry.Trace.Ops), traceLimit(1_000))
+	}
+}
+
+// TestCorpuslessFarmRecordsNoTraces pins the zero-cost default: without
+// a store no recorder is attached, findings carry no traces, and the
+// report has no corpus section — so pre-corpus reports stay
+// byte-identical (the catalog golden test covers the rendering).
+func TestCorpuslessFarmRecordsNoTraces(t *testing.T) {
+	rep, err := Run(Config{
+		Devices:          []string{"D5"},
+		Kinds:            []Kind{KindRFCOMM},
+		BaseSeed:         7,
+		Workers:          2,
+		MaxPacketsPerJob: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corpus != nil {
+		t.Errorf("store-less farm carries corpus stats: %+v", rep.Corpus)
+	}
+	for _, f := range rep.Findings {
+		if f.Known || f.Finding.Trace != nil {
+			t.Errorf("store-less farm finding carries corpus state: %+v", f)
+		}
+	}
+}

@@ -52,4 +52,15 @@
 // Every fold is commutative and Snapshot orders its output by matrix
 // position, never by arrival, so the whole Report is reproducible for a
 // given Config no matter how the scheduler interleaved the workers.
+//
+// Farms become resumable across processes through a persistent corpus
+// (Config.Corpus): every job then records its repro trace, new finding
+// signatures are written to the store the moment they are first folded,
+// and signatures the store already held are marked Known in the Report
+// instead of announced as new — so repeated farms over one corpus only
+// surface genuinely new crashes, and any stored finding can later be
+// replayed, minimized and triaged on a fresh rig (internal/corpus,
+// cmd/l2repro). The stored trace, like the report, is scheduling-
+// independent: it converges on the lowest-index job that contributed a
+// replayable one.
 package fleet

@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"l2fuzz/internal/bt/device"
+	"l2fuzz/internal/corpus"
 )
 
 // Kind selects the fuzzer a job runs.
@@ -110,6 +111,13 @@ type Config struct {
 	// MeasurementGrade builds targets with their defects disabled, for
 	// metrics-only sweeps (the farm analogue of Table VII).
 	MeasurementGrade bool
+	// Corpus, when set, makes the farm's findings durable: every job
+	// records its repro trace, new finding signatures are written to the
+	// store as they stream in, and signatures the store already holds
+	// are marked Known in the report instead of being announced as new.
+	// A later cmd/l2repro (or corpus.Replay) can then reproduce,
+	// minimize and triage any stored finding on a fresh rig.
+	Corpus *corpus.Store
 	// OnJobDone, when set, is called after every job completes, with
 	// calls serialized (done counts completed jobs so far, total the
 	// matrix size). It must not mutate the result.

@@ -6,8 +6,6 @@ import (
 	"strings"
 	"time"
 
-	"l2fuzz/internal/bt/l2cap"
-	"l2fuzz/internal/bt/sm"
 	"l2fuzz/internal/core"
 	"l2fuzz/internal/metrics"
 )
@@ -43,21 +41,17 @@ type JobResult struct {
 	Summary metrics.Summary
 }
 
-// Signature is the black-box identity of a finding — the same
-// (state, port, error-class) triple the campaign runner de-duplicates
-// by, here applied across devices and fuzzer kinds.
-type Signature struct {
-	State sm.State
-	PSM   l2cap.PSM
-	Class core.ErrorClass
-}
-
-func (s Signature) String() string {
-	return fmt.Sprintf("%v in %v on %v", s.Class, s.State, s.PSM)
-}
+// Signature is the black-box identity of a finding — the shared
+// core.Signature (state, port, error-class) triple the campaign runner
+// de-duplicates by, here applied across devices and fuzzer kinds, and
+// the key the persistent corpus stores repro traces under. One type for
+// all three layers means corpus keys cannot drift from report keys.
+type Signature = core.Signature
 
 // FindingRecord is one de-duplicated finding with its farm-wide
-// provenance.
+// provenance. Finding.Trace carries the recorded repro trace of the
+// canonical first occurrence when the farm records traces (a corpus
+// store is configured).
 type FindingRecord struct {
 	// Signature is the de-duplication key.
 	Signature Signature
@@ -72,6 +66,23 @@ type FindingRecord struct {
 	Count int
 	// Dump is the first non-empty crash artefact.
 	Dump string
+	// Known marks a signature the configured corpus store already held
+	// before this farm run: a reproduction of yesterday's finding, not
+	// a new one. Known findings are still counted and listed, but they
+	// are not announced as new (no EventNewFinding) and not re-written
+	// to the store.
+	Known bool
+}
+
+// CorpusStats summarises a farm's interaction with its corpus store.
+type CorpusStats struct {
+	// Saved counts the distinct new signatures whose repro traces were
+	// persisted this run.
+	Saved int
+	// Known counts the distinct signatures the store already held.
+	Known int
+	// Errors lists store write failures, sorted.
+	Errors []string
 }
 
 // GroupStats is a per-device or per-kind breakdown row.
@@ -130,6 +141,9 @@ type Report struct {
 	Metrics metrics.Summary
 	// StateCoverage is that union, sorted by name.
 	StateCoverage []string
+	// Corpus summarises the corpus-store interaction; nil when the farm
+	// ran without a store.
+	Corpus *CorpusStats
 }
 
 // FindingsOn returns the de-duplicated findings involving one target,
@@ -186,6 +200,15 @@ func (r *Report) Render() string {
 		100*r.Metrics.MPRatio, 100*r.Metrics.PRRatio,
 		100*r.Metrics.MutationEfficiency, r.Metrics.PacketsPerSecond,
 		r.Metrics.StatesCovered)
+	// The corpus line appears only on corpus-backed farms, keeping
+	// store-less reports byte-identical to pre-corpus ones.
+	if r.Corpus != nil {
+		fmt.Fprintf(&b, "corpus: %d new trace(s) saved, %d known signature(s)\n",
+			r.Corpus.Saved, r.Corpus.Known)
+		for _, e := range r.Corpus.Errors {
+			fmt.Fprintf(&b, "corpus: WRITE FAILED: %s\n", e)
+		}
+	}
 
 	// The device column grows with the longest target name but never
 	// shrinks below the historical 8 columns, so catalog-only reports
@@ -242,9 +265,13 @@ func (r *Report) Render() string {
 		for j, k := range f.Kinds {
 			kinds[j] = string(k)
 		}
-		fmt.Fprintf(&b, "  %2d. %s (%s) ×%d  devices: %s  via: %s\n",
+		known := ""
+		if f.Known {
+			known = "  (known)"
+		}
+		fmt.Fprintf(&b, "  %2d. %s (%s) ×%d  devices: %s  via: %s%s\n",
 			i+1, f.Signature, f.Finding.Error.Severity(), f.Count,
-			strings.Join(f.Devices, ","), strings.Join(kinds, ","))
+			strings.Join(f.Devices, ","), strings.Join(kinds, ","), known)
 	}
 	return b.String()
 }

@@ -27,11 +27,54 @@ func newRig(cfg Config, job Job) (*testbed.Rig, error) {
 	if job.Spec == nil {
 		return nil, fmt.Errorf("job %v carries no resolved target spec", job)
 	}
-	return testbed.New(*job.Spec, testbed.Options{
+	opts := testbed.Options{
 		DisableVulns: cfg.MeasurementGrade,
 		RFCOMM:       job.Kind == KindRFCOMM,
 		TesterName:   "farm-worker",
-	})
+	}
+	if cfg.Corpus != nil && job.Kind.producesFindings() {
+		// Corpus-backed farms record the repro traces of every job
+		// that can contribute findings (the baseline kinds never do,
+		// so recording them would only hold wire buffers for nothing).
+		// This limit is an estimate from the job's unresolved budget;
+		// each runner raises it (ensureTraceLimit) once its variant
+		// hooks have resolved the real traffic cap. A trace that still
+		// outgrows it is marked truncated and skipped at store time
+		// rather than persisted unreplayable.
+		budget := job.MaxPackets
+		if job.Kind == KindCampaign {
+			budget *= cfg.CampaignRuns
+		}
+		opts.Record = true
+		opts.RecordLimit = traceLimit(budget)
+	}
+	return testbed.New(*job.Spec, opts)
+}
+
+// producesFindings reports whether a kind has a detection phase. The
+// comparison baselines do not — the paper's evaluation found none of
+// the zero-days with them — so their jobs never contribute corpus
+// entries.
+func (k Kind) producesFindings() bool {
+	switch k {
+	case KindDefensics, KindBFuzz, KindBSS:
+		return false
+	}
+	return true
+}
+
+// traceLimit sizes a recorder for a traffic budget: every packet is one
+// op, liveness probes and link churn roughly double it, and the slack
+// absorbs scan and setup traffic.
+func traceLimit(budget int) int { return 2*budget + 4096 }
+
+// ensureTraceLimit raises the rig recorder's cap once a runner knows
+// its resolved traffic budget — variant hooks may have lifted it past
+// the pre-resolution estimate newRig recorded with.
+func ensureTraceLimit(r *testbed.Rig, budget int) {
+	if r.Recorder != nil {
+		r.Recorder.EnsureLimit(traceLimit(budget))
+	}
 }
 
 // runJob executes one job on a fresh rig and folds the outcome into a
@@ -71,6 +114,14 @@ func runL2Fuzz(r *testbed.Rig, job Job, v Variant, res *JobResult) {
 	if v.Core != nil {
 		v.Core(&fcfg)
 	}
+	budget := fcfg.MaxPackets
+	if budget <= 0 {
+		// Mirror the runner's zero-means-default normalization, or a
+		// hook zeroing the cap would shrink the trace limit while the
+		// run grows to the library default.
+		budget = core.DefaultMaxPackets
+	}
+	ensureTraceLimit(r, budget)
 	report, err := core.New(r.Client, fcfg).Run(r.Device.Address())
 	if err != nil {
 		res.Err = err
@@ -119,6 +170,12 @@ func runRFCOMM(r *testbed.Rig, job Job, v Variant, res *JobResult) {
 	if v.RFCOMM != nil {
 		v.RFCOMM(&fcfg)
 	}
+	budget := fcfg.MaxFrames
+	if budget <= 0 {
+		// Mirror the runner's zero-means-default normalization.
+		budget = rfcommfuzz.DefaultConfig(job.Seed).MaxFrames
+	}
+	ensureTraceLimit(r, budget)
 	report, err := rfcommfuzz.New(r.Client, fcfg).Run(r.Device.Address())
 	if err != nil {
 		res.Err = err
@@ -133,10 +190,12 @@ func runRFCOMM(r *testbed.Rig, job Job, v Variant, res *JobResult) {
 		}
 		res.Findings = []Occurrence{{
 			Finding: core.Finding{
-				Time:  report.Elapsed,
-				Error: class,
-				State: sm.StateOpen,
-				PSM:   l2cap.PSMRFCOMM,
+				Time:           report.Elapsed,
+				Error:          class,
+				State:          sm.StateOpen,
+				PSM:            l2cap.PSMRFCOMM,
+				Trace:          report.Trace,
+				TraceTruncated: report.TraceTruncated,
 			},
 			Count: 1,
 			Dump:  crashDump(r.Device),
@@ -162,6 +221,28 @@ func runCampaign(cfg Config, r *testbed.Rig, job Job, v Variant, res *JobResult)
 			v.Core(fc)
 		}
 	}
+	// Resolve the traffic budget the way the campaign runner will —
+	// zero-valued knobs fall back to campaign defaults, then the chained
+	// per-run hook applies — so the trace recorder is sized for the
+	// worst case of every run landing in one trace epoch (dry runs do
+	// not reset the epoch).
+	resolved := ccfg
+	def := campaign.DefaultConfig(ccfg.Seed)
+	if resolved.MaxRuns <= 0 {
+		resolved.MaxRuns = def.MaxRuns
+	}
+	if resolved.MaxPacketsPerRun <= 0 {
+		resolved.MaxPacketsPerRun = def.MaxPacketsPerRun
+	}
+	perRun := core.DefaultConfig(job.Seed)
+	perRun.MaxPackets = resolved.MaxPacketsPerRun
+	if ccfg.MutateFuzz != nil {
+		ccfg.MutateFuzz(&perRun)
+	}
+	if perRun.MaxPackets <= 0 {
+		perRun.MaxPackets = core.DefaultMaxPackets
+	}
+	ensureTraceLimit(r, resolved.MaxRuns*perRun.MaxPackets)
 	report, err := campaign.New(r.Client, r.Device, ccfg).Run()
 	if err != nil {
 		res.Err = err

@@ -73,6 +73,13 @@ type Report struct {
 	L2CAPAlive bool
 	// LastFrame describes the frame sent just before detection.
 	LastFrame string
+	// Trace is the recorded client operation sequence through detection,
+	// populated when Found and a host.TraceRecorder is attached to the
+	// client. The snapshot is taken before the L2CAPAlive probe, so a
+	// replayed trace ends on the killing frame.
+	Trace []host.TraceOp
+	// TraceTruncated reports the trace outgrew the recorder's limit.
+	TraceTruncated bool
 }
 
 // ErrNoRFCOMM indicates the target exposes no pairing-free RFCOMM port.
@@ -125,6 +132,9 @@ func (f *Fuzzer) Run(target radio.BDAddr) (*Report, error) {
 		report.FramesSent = f.sent
 		report.Elapsed = f.cl.Clock().Now() - start
 		if found {
+			if rec := f.cl.Recorder(); rec != nil {
+				report.Trace, report.TraceTruncated = rec.Snapshot()
+			}
 			report.L2CAPAlive = f.cl.Ping(target) == nil
 		}
 		return report, nil

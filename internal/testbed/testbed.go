@@ -32,6 +32,9 @@ type Rig struct {
 	Device  *device.Device
 	Client  *host.Client
 	Sniffer *metrics.Sniffer
+	// Recorder is the client's trace recorder when Options.Record was
+	// set, nil otherwise.
+	Recorder *host.TraceRecorder
 }
 
 // Options selects the rig variant.
@@ -48,6 +51,15 @@ type Options struct {
 	RFCOMM bool
 	// TesterName names the tester endpoint; empty means "test-machine".
 	TesterName string
+	// Record attaches a host.TraceRecorder to the rig's client, so every
+	// page, link drop and transmitted frame is captured as a replayable
+	// operation sequence (the corpus subsystem's repro traces).
+	Record bool
+	// RecordLimit caps the recorded operation count when Record is set;
+	// zero means host.DefaultTraceLimit. Outgrowing the limit marks the
+	// trace truncated rather than dropping its head, because a headless
+	// trace could not replay from a fresh rig.
+	RecordLimit int
 }
 
 // New builds a rig around one target spec.
@@ -84,12 +96,17 @@ func New(spec device.Spec, opts Options) (*Rig, error) {
 	if err != nil {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
-	return &Rig{
+	rig := &Rig{
 		Medium:  m,
 		Device:  dev,
 		Client:  cl,
 		Sniffer: metrics.NewSniffer(m, TesterAddr),
-	}, nil
+	}
+	if opts.Record {
+		rig.Recorder = host.NewTraceRecorder(opts.RecordLimit)
+		cl.SetRecorder(rig.Recorder)
+	}
+	return rig, nil
 }
 
 // rfcommPorts rewrites a port list so the RFCOMM port exists and is

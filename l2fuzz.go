@@ -57,6 +57,23 @@
 //	    }
 //	}
 //	report := farm.Wait()
+//
+// Findings become durable, reproducible artefacts through a corpus:
+// OpenCorpus plus FleetConfig.Corpus persist every new finding's
+// recorded repro trace as it streams in, a second farm over the same
+// store reports known signatures as Known instead of new, and
+// ReplayCorpusEntry / MinimizeCorpusEntry re-drive and delta-debug a
+// stored finding against a fresh rig, feeding the reproduced crash
+// artefact to triage (cmd/l2repro is the CLI form):
+//
+//	store, err := l2fuzz.OpenCorpus("findings/")
+//	...
+//	report, err := l2fuzz.RunFleet(l2fuzz.FleetConfig{Corpus: store})
+//	...
+//	entry, err := store.Get(report.Findings[0].Signature)
+//	...
+//	res, err := l2fuzz.ReplayCorpusEntry(entry, l2fuzz.CorpusReplayConfig{})
+//	fmt.Println(res.Reproduced, res.RootCause.Render())
 package l2fuzz
 
 import (
@@ -71,6 +88,7 @@ import (
 	"l2fuzz/internal/bt/rfcomm"
 	"l2fuzz/internal/campaign"
 	"l2fuzz/internal/core"
+	"l2fuzz/internal/corpus"
 	"l2fuzz/internal/fleet"
 	"l2fuzz/internal/fuzzers"
 	"l2fuzz/internal/fuzzers/bfuzz"
@@ -155,6 +173,39 @@ type (
 	// FleetAggregator folds farm job results incrementally and
 	// snapshots full reports at any moment.
 	FleetAggregator = fleet.Aggregator
+	// FleetCorpusStats summarises a corpus-backed farm's store
+	// interaction (new traces saved, known signatures recognised).
+	FleetCorpusStats = fleet.CorpusStats
+	// FindingSignature is the shared (state, port, error-class) triple
+	// findings de-duplicate by — within a campaign, across a farm, and
+	// across runs in a corpus store.
+	FindingSignature = core.Signature
+	// CorpusStore persists findings with their recorded repro traces as
+	// JSON files in a directory, keyed by signature. Wire one into a
+	// farm via FleetConfig.Corpus; open one with OpenCorpus.
+	CorpusStore = corpus.Store
+	// CorpusEntry is one persisted finding: signature, fuzzer kind,
+	// the finding itself and its repro trace.
+	CorpusEntry = corpus.Entry
+	// CorpusTrace is the recorded repro recipe of a finding: seed,
+	// target name, state and port under test, and the ordered client
+	// operation sequence that drove a fresh rig into the crash.
+	CorpusTrace = corpus.Trace
+	// CorpusOp is one recorded client operation (page, link drop, or
+	// transmitted wire packet).
+	CorpusOp = corpus.Op
+	// CorpusReplayConfig parameterises ReplayCorpusEntry (pass the spec
+	// for entries recorded against custom targets).
+	CorpusReplayConfig = corpus.ReplayConfig
+	// CorpusReplayResult reports whether a replay reproduced the entry's
+	// signature on a fresh rig, with the fresh crash artefact and the
+	// triage root-cause report.
+	CorpusReplayResult = corpus.ReplayResult
+	// CorpusMinimizeConfig parameterises MinimizeCorpusEntry.
+	CorpusMinimizeConfig = corpus.MinimizeConfig
+	// CorpusMinimizeResult is the delta-debugged (minimal still-crashing)
+	// form of an entry's trace.
+	CorpusMinimizeResult = corpus.MinimizeResult
 )
 
 // The farm event types.
@@ -220,6 +271,33 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 // must drain Events (or call Wait, which drains the rest).
 func StartFleet(cfg FleetConfig) (*FleetFarm, error) {
 	return fleet.Start(cfg)
+}
+
+// OpenCorpus opens (creating if needed) a persistent finding corpus in
+// dir. Wire it into a farm with FleetConfig.Corpus: new findings are
+// persisted with their repro traces as they stream in, and findings
+// whose signature the store already holds are marked Known in the
+// report instead of announced as new.
+func OpenCorpus(dir string) (*CorpusStore, error) {
+	return corpus.Open(dir)
+}
+
+// CorpusKey derives the stable store key of a finding signature (the
+// addressing scheme cmd/l2repro uses).
+func CorpusKey(sig FindingSignature) string { return corpus.KeyOf(sig) }
+
+// ReplayCorpusEntry re-drives a stored entry's recorded trace against a
+// fresh testbed rig, verifies the crash still fires with the recorded
+// signature, and triages the freshly reproduced crash artefact.
+func ReplayCorpusEntry(e CorpusEntry, cfg CorpusReplayConfig) (*CorpusReplayResult, error) {
+	return corpus.Replay(e, cfg)
+}
+
+// MinimizeCorpusEntry delta-debugs a stored entry's trace to a minimal
+// operation sequence that still reproduces its signature on a fresh
+// rig.
+func MinimizeCorpusEntry(e CorpusEntry, cfg CorpusMinimizeConfig) (*CorpusMinimizeResult, error) {
+	return corpus.Minimize(e, cfg)
 }
 
 // Connection-error classes (paper §III-E).
