@@ -6,7 +6,8 @@
 package l2fuzz_test
 
 import (
-	"fmt"
+	"io"
+	"os"
 	"testing"
 	"time"
 
@@ -207,17 +208,12 @@ func BenchmarkAblation_MutateAllFields(b *testing.B) {
 // per-job allocation volume is the hot-spot budget the ROADMAP's
 // fleet-scaling item chases.
 func BenchmarkFleet(b *testing.B) {
-	for _, workers := range []int{1, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+	for _, bc := range fleetBenchCases {
+		b.Run(bc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				start := time.Now()
-				report, err := l2fuzz.RunFleet(l2fuzz.FleetConfig{
-					Shards:           2,
-					BaseSeed:         7,
-					Workers:          workers,
-					MaxPacketsPerJob: 50_000,
-				})
+				report, err := fleetBenchRun(bc.workers, bc.telemetry)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -229,6 +225,72 @@ func BenchmarkFleet(b *testing.B) {
 				b.ReportMetric(float64(len(report.Findings)), "findings")
 			}
 		})
+	}
+}
+
+// fleetBenchCases is the recorded fleet trajectory: the three worker
+// counts plus a telemetry-on point, whose overhead against the plain
+// workers=4 point is the budget the telemetry hot path must hold.
+var fleetBenchCases = []struct {
+	name      string
+	workers   int
+	telemetry bool
+}{
+	{"workers=1", 1, false},
+	{"workers=4", 4, false},
+	{"workers=8", 8, false},
+	{"workers=4/telemetry", 4, true},
+}
+
+// fleetBenchRun executes BenchmarkFleet's fixed matrix once: eight
+// devices × L2Fuzz × two shards at 50k packets. With telemetry on, the
+// farm carries hot-path counters and writes a discarded run journal —
+// the full recording stack minus the disk.
+func fleetBenchRun(workers int, telemetry bool) (*l2fuzz.FleetReport, error) {
+	cfg := l2fuzz.FleetConfig{
+		Shards:           2,
+		BaseSeed:         7,
+		Workers:          workers,
+		MaxPacketsPerJob: 50_000,
+	}
+	if telemetry {
+		cfg.Counters = &l2fuzz.TelemetryCounters{}
+		cfg.Journal = l2fuzz.NewTelemetryJournal(io.Discard)
+	}
+	return l2fuzz.RunFleet(cfg)
+}
+
+// TestBenchSnapshot records the fleet trajectory as a committed bench
+// snapshot (the repo's BENCH_6.json):
+//
+//	BENCH_SNAPSHOT=BENCH_6.json go test -run TestBenchSnapshot .
+//
+// Skipped unless BENCH_SNAPSHOT names the output path, so regular test
+// runs stay fast and the committed file only changes deliberately.
+func TestBenchSnapshot(t *testing.T) {
+	path := os.Getenv("BENCH_SNAPSHOT")
+	if path == "" {
+		t.Skip("set BENCH_SNAPSHOT=<path> to record the fleet bench trajectory")
+	}
+	rows := make([]l2fuzz.BenchRow, 0, len(fleetBenchCases))
+	for _, bc := range fleetBenchCases {
+		row := l2fuzz.MeasureBenchRow(func() (int64, int) {
+			report, err := fleetBenchRun(bc.workers, bc.telemetry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Failed > 0 {
+				t.Fatalf("%d jobs failed", report.Failed)
+			}
+			return int64(report.TotalPackets), len(report.Findings)
+		})
+		row.Name = bc.name
+		row.Workers = bc.workers
+		row.Telemetry = bc.telemetry
+		rows = append(rows, row)
+	}
+	if err := l2fuzz.WriteBenchSnapshot(path, l2fuzz.NewBenchSnapshot("BenchmarkFleet", rows)); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -35,12 +35,23 @@
 // files are rejected with the line and column of the error. Use
 // "-devices none" with -device-file to farm custom targets alone.
 //
+// The farm is observable while it runs. -telemetry ADDR serves a live
+// introspection endpoint: /metrics (Prometheus text format counters:
+// frames, packets, mutations, findings, job lifecycle), /debug/vars
+// (expvar), /snapshot (the mid-run farm report as JSON) and
+// /debug/pprof. -journal DIR records the run as a structured JSONL
+// journal in a fresh DIR/run-<timestamp>-<pid>/journal.jsonl: the farm
+// configuration, every job start, job result and finding as timestamped
+// records, plus a counter sample every second. A journal replays into
+// the exact live report with l2fuzz.ReplayFleetJournal.
+//
 // Usage:
 //
 //	l2farm [-devices all|none|D1,D2,...] [-fuzzers l2fuzz,defensics,bfuzz,bss,rfcomm,campaign]
 //	       [-ablations all|baseline,no-state-guiding,all-fields,no-garbage]
 //	       [-device-file spec.json]... [-shards 1] [-workers 0] [-seed 1]
 //	       [-max-packets 250000] [-budget D3=500000]... [-corpus dir]
+//	       [-telemetry addr] [-journal dir]
 //	       [-measure] [-quiet] [-stream] [-dump]
 //
 // Examples:
@@ -54,15 +65,19 @@
 //	l2farm -device-file toaster.json -budget smart-toaster=500000
 //	l2farm -devices none -device-file a.json -device-file b.json
 //	l2farm -corpus findings/ -fuzzers all   # durable, de-duplicated across runs
+//	l2farm -telemetry localhost:6060        # curl /metrics, /snapshot, /debug/pprof
+//	l2farm -journal runs/ -quiet            # recorded, replayable run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"l2fuzz"
 )
@@ -186,6 +201,8 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "farm base seed")
 		maxPackets = flag.Int("max-packets", 0, "per-job packet budget (0 = library default)")
 		corpusDir  = flag.String("corpus", "", "persist findings with repro traces into this corpus directory; known signatures are reported as such (replay them with l2repro)")
+		telemetry  = flag.String("telemetry", "", "serve live metrics on this address (/metrics, /debug/vars, /snapshot, /debug/pprof)")
+		journalDir = flag.String("journal", "", "record the run as a JSONL journal in a fresh run directory under this path")
 		measure    = flag.Bool("measure", false, "measurement-grade targets: defects disabled, metrics only")
 		quiet      = flag.Bool("quiet", false, "suppress per-job progress lines")
 		stream     = flag.Bool("stream", false, "print de-duplicated findings as they land")
@@ -212,6 +229,19 @@ func run() error {
 			return err
 		}
 		cfg.Corpus = store
+	}
+	if *telemetry != "" || *journalDir != "" {
+		cfg.Counters = &l2fuzz.TelemetryCounters{}
+	}
+	if *journalDir != "" {
+		runDir := filepath.Join(*journalDir,
+			fmt.Sprintf("run-%s-%d", time.Now().UTC().Format("20060102-150405"), os.Getpid()))
+		journal, err := l2fuzz.OpenTelemetryJournal(runDir)
+		if err != nil {
+			return err
+		}
+		cfg.Journal = journal
+		fmt.Fprintln(os.Stderr, "l2farm: journaling to", filepath.Join(runDir, l2fuzz.TelemetryJournalFile))
 	}
 	switch *devices {
 	case "all":
@@ -269,6 +299,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *telemetry != "" {
+		srv, err := l2fuzz.ServeTelemetry(*telemetry, l2fuzz.TelemetryServerConfig{
+			Counters: cfg.Counters,
+			Snapshot: func() any { return farm.Snapshot() },
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "l2farm: telemetry on http://"+srv.Addr)
+	}
+	stopSampler := func() {}
+	if cfg.Journal != nil {
+		stopSampler = cfg.Journal.StartSampler(cfg.Counters, time.Second)
+	}
 	// Progress-line job column: 34 runes fits the longest catalog job
 	// name ("D8×Defensics[no-state-guiding]/99" is 33); custom targets
 	// widen it by however much their name exceeds a catalog ID's 2.
@@ -311,6 +356,14 @@ func run() error {
 		}
 	}
 	report := farm.Wait()
+	stopSampler()
+	if cfg.Journal != nil {
+		if err := cfg.Journal.Close(); err != nil {
+			// The farm itself succeeded; a hole in the recording is worth
+			// a warning, not a failed run.
+			fmt.Fprintln(os.Stderr, "l2farm: journal:", err)
+		}
+	}
 
 	if printed {
 		fmt.Println()

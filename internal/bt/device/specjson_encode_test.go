@@ -1,0 +1,142 @@
+package device
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"l2fuzz/internal/bt/radio"
+)
+
+// TestEncodeSpecRoundTrip pins the encoder as DecodeSpec's inverse:
+// decode → encode → decode must converge, with the second encoding
+// byte-identical to the first (the JSON form is a fixed point).
+func TestEncodeSpecRoundTrip(t *testing.T) {
+	spec, err := DecodeSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc1, err := EncodeSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := DecodeSpec(enc1)
+	if err != nil {
+		t.Fatalf("encoded spec does not decode: %v\n%s", err, enc1)
+	}
+	enc2, err := EncodeSpec(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Errorf("encoding is not a fixed point:\nfirst:  %s\nsecond: %s", enc1, enc2)
+	}
+
+	// Spot-check the semantic fields survived the round trip (the specs
+	// themselves carry closures, so they are compared by observable
+	// shape, not DeepEqual).
+	if again.Name != spec.Name || again.Config.Addr != spec.Config.Addr {
+		t.Errorf("identity drifted: %q/%v vs %q/%v", again.Name, again.Config.Addr, spec.Name, spec.Config.Addr)
+	}
+	if again.Config.Profile.Stack != spec.Config.Profile.Stack {
+		t.Errorf("stack drifted: %q vs %q", again.Config.Profile.Stack, spec.Config.Profile.Stack)
+	}
+	if len(again.Config.Profile.Vulns) != len(spec.Config.Profile.Vulns) ||
+		again.Config.Profile.Vulns[0].ID != spec.Config.Profile.Vulns[0].ID {
+		t.Errorf("defects drifted: %+v vs %+v", again.Config.Profile.Vulns, spec.Config.Profile.Vulns)
+	}
+	if len(again.Config.Ports) != len(spec.Config.Ports) {
+		t.Errorf("ports drifted: %+v vs %+v", again.Config.Ports, spec.Config.Ports)
+	}
+	if len(again.Config.RFCOMMServices) != len(spec.Config.RFCOMMServices) ||
+		(again.Config.RFCOMMDefect == nil) != (spec.Config.RFCOMMDefect == nil) {
+		t.Error("rfcomm shape drifted")
+	}
+	if again.ExpectVuln != spec.ExpectVuln || again.ExpectClass != spec.ExpectClass {
+		t.Errorf("expectations drifted: %v/%v vs %v/%v",
+			again.ExpectVuln, again.ExpectClass, spec.ExpectVuln, spec.ExpectClass)
+	}
+}
+
+// TestEncodeSpecExpectVulnExplicit: a spec whose expectVuln was forced
+// off despite armed defects must keep it off through the round trip —
+// the encoder writes the field explicitly so the decoder's armed-defect
+// default cannot flip it back.
+func TestEncodeSpecExpectVulnExplicit(t *testing.T) {
+	spec, err := DecodeSpec([]byte(`{
+	  "name": "denied", "addr": "02:00:00:00:00:04",
+	  "profile": {"stack": "bluez", "btVersion": "5.0"},
+	  "defects": ["option-overrun-gpf"],
+	  "expectVuln": false
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := DecodeSpec(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ExpectVuln {
+		t.Errorf("expectVuln flipped on through the round trip:\n%s", enc)
+	}
+}
+
+func TestEncodeSpecErrors(t *testing.T) {
+	base := func() Spec {
+		s, err := DecodeSpec([]byte(validSpecJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"config name mismatch", func(s *Spec) { s.Config.Name = "Smart Speaker" }, "one name"},
+		{"disable vulns", func(s *Spec) { s.Config.DisableVulns = true }, "DisableVulns"},
+		{"unknown stack", func(s *Spec) { s.Config.Profile.Stack = "VendorOS" }, "no JSON name"},
+		{"unknown defect", func(s *Spec) { s.Config.Profile.Vulns[0].ID = "zero-day" }, "not a catalog defect"},
+		{"custom profile knobs", func(s *Spec) { s.Config.Profile.SignalingMTU++ }, "behaviour knobs"},
+		{"rfcomm defect without services", func(s *Spec) { s.Config.RFCOMMServices = nil }, "not decodable"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := base()
+			tc.mutate(&spec)
+			_, err := EncodeSpec(spec)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("EncodeSpec error = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEncodeSpecMinimal: a defect-free spec with no optional fields
+// encodes without nulls for the omitted sections and still decodes.
+func TestEncodeSpecMinimal(t *testing.T) {
+	spec := Spec{
+		Name: "plain",
+		Config: Config{
+			Addr:    radio.MustBDAddr("02:00:00:00:00:09"),
+			Name:    "plain",
+			Profile: WindowsProfile("5.0"),
+		},
+	}
+	enc, err := EncodeSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"defects", "rfcomm", "ports", "classOfDevice", "expectClass"} {
+		if strings.Contains(string(enc), absent) {
+			t.Errorf("minimal encoding carries %q: %s", absent, enc)
+		}
+	}
+	if _, err := DecodeSpec(enc); err != nil {
+		t.Fatalf("minimal encoding does not decode: %v\n%s", err, enc)
+	}
+}

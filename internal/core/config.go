@@ -3,6 +3,8 @@ package core
 import (
 	"io"
 	"time"
+
+	"l2fuzz/internal/telemetry"
 )
 
 // Config parameterises an L2Fuzz run. The zero value is not usable;
@@ -29,6 +31,11 @@ type Config struct {
 	MaxPackets int
 	// LogWriter receives the run log; nil discards it.
 	LogWriter io.Writer
+	// Counters, when set, receives hot-path telemetry: one bump per
+	// generated packet, malformed packet and successful mutation. All
+	// counter methods are nil-safe, so the fuzzer calls them
+	// unconditionally.
+	Counters *telemetry.Counters
 
 	// MutateAllFields widens mutation beyond MC for the ablation study:
 	// dependent fields and MA fields are scrambled too, reproducing the

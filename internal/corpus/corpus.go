@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"l2fuzz/internal/bt/host"
@@ -55,6 +56,13 @@ type Entry struct {
 	Finding core.Finding `json:"finding"`
 	// Trace is the recorded repro trace.
 	Trace Trace `json:"trace"`
+	// Spec is the target's JSON form (device.EncodeSpec) for entries
+	// recorded against custom, non-catalog targets, making them
+	// self-contained: Replay rebuilds the rig from it when the trace's
+	// target name is not a catalog ID and no explicit spec is passed.
+	// Absent for catalog targets and for custom specs the encoder cannot
+	// represent.
+	Spec json.RawMessage `json:"spec,omitempty"`
 }
 
 // Validate checks the entry is storable: a classified signature and a

@@ -16,10 +16,11 @@ const kindRFCOMM = "RFCOMM"
 
 // ReplayConfig parameterises a replay.
 type ReplayConfig struct {
-	// Spec is the target to rebuild, for entries recorded against
-	// custom (non-catalog) devices. Nil resolves the trace's target
-	// name as a catalog ID with its defects armed — the common case for
-	// farm-produced entries.
+	// Spec is the target to rebuild, overriding the entry's own target
+	// resolution. Nil resolves the trace's target name as a catalog ID
+	// with its defects armed — the common case for farm-produced
+	// entries — falling back to the spec embedded in the entry for
+	// custom targets.
 	Spec *device.Spec
 }
 
@@ -43,17 +44,27 @@ type ReplayResult struct {
 	RootCause triage.Report
 }
 
-// resolveSpec picks the rig target: an explicit spec, or the trace's
-// target name looked up in the catalog.
+// resolveSpec picks the rig target, in precedence order: an explicit
+// spec, the trace's target name looked up in the catalog, the spec
+// embedded in the entry (self-contained custom-target entries).
 func resolveSpec(e Entry, cfg ReplayConfig) (device.Spec, error) {
 	if cfg.Spec != nil {
 		return *cfg.Spec, nil
 	}
-	spec, err := device.CatalogSpec(e.Trace.Target, false)
-	if err != nil {
-		return device.Spec{}, fmt.Errorf("corpus: target %q is not a catalog ID; pass the spec explicitly: %w", e.Trace.Target, err)
+	if device.IsCatalogID(e.Trace.Target) {
+		return device.CatalogSpec(e.Trace.Target, false)
 	}
-	return spec, nil
+	if len(e.Spec) > 0 {
+		spec, err := device.DecodeSpec(e.Spec)
+		if err != nil {
+			return device.Spec{}, fmt.Errorf("corpus: entry %v embeds an undecodable spec: %w", e.Signature, err)
+		}
+		if spec.Name != e.Trace.Target {
+			return device.Spec{}, fmt.Errorf("corpus: embedded spec %q does not name the trace target %q", spec.Name, e.Trace.Target)
+		}
+		return spec, nil
+	}
+	return device.Spec{}, fmt.Errorf("corpus: target %q is not a catalog ID and the entry embeds no spec; pass the spec explicitly", e.Trace.Target)
 }
 
 // Replay re-drives an entry's recorded trace against a fresh testbed

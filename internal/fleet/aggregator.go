@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"l2fuzz/internal/bt/device"
 	"l2fuzz/internal/corpus"
 	"l2fuzz/internal/metrics"
 )
@@ -26,6 +27,7 @@ type Aggregator struct {
 	completed, failed int
 	totalPackets      int
 	totalSim          time.Duration
+	totalJobWall      time.Duration
 	perDevice         map[string]*GroupStats
 	perKind           map[Kind]*GroupStats
 	perVariant        map[string]*VariantStats
@@ -110,6 +112,12 @@ func (a *Aggregator) Add(res JobResult) []FindingRecord {
 	dev.Jobs++
 	kg.Jobs++
 	vg.Jobs++
+	// Wall folds before the error check: failed jobs consumed worker
+	// time too.
+	dev.Wall += res.Wall
+	kg.Wall += res.Wall
+	vg.Wall += res.Wall
+	a.totalJobWall += res.Wall
 	if res.Err != nil {
 		a.failed++
 		dev.Failed++
@@ -192,12 +200,22 @@ func (a *Aggregator) persist(acc *findingAcc, job Job, occ Occurrence, idx int) 
 	if !trace.Replayable() {
 		return
 	}
-	err := a.cfg.Corpus.Put(corpus.Entry{
+	entry := corpus.Entry{
 		Signature: acc.rec.Signature,
 		Kind:      string(job.Kind),
 		Finding:   occ.Finding,
 		Trace:     trace,
-	})
+	}
+	// Custom targets embed their spec so the entry replays without the
+	// caller re-supplying it. Best-effort: specs the encoder cannot
+	// represent (hand-built closures, non-catalog calibrations) leave
+	// the entry spec-less, exactly as before.
+	if !device.IsCatalogID(job.Device) && job.Spec != nil {
+		if data, err := device.EncodeSpec(*job.Spec); err == nil {
+			entry.Spec = data
+		}
+	}
+	err := a.cfg.Corpus.Put(entry)
 	if err != nil {
 		a.corpusErrs = append(a.corpusErrs, err.Error())
 		return
@@ -219,6 +237,7 @@ func (a *Aggregator) Snapshot() *Report {
 		Failed:       a.failed,
 		TotalPackets: a.totalPackets,
 		TotalSimTime: a.totalSim,
+		TotalJobWall: a.totalJobWall,
 		Workers:      a.cfg.Workers,
 		PerDevice:    make(map[string]*GroupStats, len(a.perDevice)),
 		PerKind:      make(map[Kind]*GroupStats, len(a.perKind)),

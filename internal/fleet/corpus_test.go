@@ -55,7 +55,8 @@ func TestCorpusFarmSchedulingIndependence(t *testing.T) {
 	if serialRep.Corpus == nil || serialRep.Corpus.Saved != len(serialEntries) {
 		t.Fatalf("corpus stats %+v disagree with %d stored entries", serialRep.Corpus, len(serialEntries))
 	}
-	serialRep.Wall, parallelRep.Wall = 0, 0
+	serialRep.ScrubWall()
+	parallelRep.ScrubWall()
 	serialRep.Workers, parallelRep.Workers = 0, 0
 	if !reflect.DeepEqual(serialRep, parallelRep) {
 		t.Errorf("corpus-backed reports differ between worker counts:\nserial:   %+v\nparallel: %+v",
@@ -149,6 +150,76 @@ func TestVariantRaisedBudgetDoesNotTruncateTrace(t *testing.T) {
 	if len(entry.Trace.Ops) <= traceLimit(1_000) {
 		t.Fatalf("trace has %d ops, within the pre-resolution limit %d — the test no longer exercises the raise",
 			len(entry.Trace.Ops), traceLimit(1_000))
+	}
+}
+
+// TestCustomTargetEntryIsSelfContained pins the PR 6 corpus follow-up:
+// a finding recorded against a JSON-defined custom target embeds the
+// target's spec in its corpus entry, and Replay with an empty config —
+// no explicit spec — rebuilds the rig from that embedding and
+// reproduces the crash. Catalog-target entries stay spec-less.
+func TestCustomTargetEntryIsSelfContained(t *testing.T) {
+	spec, err := device.DecodeSpec([]byte(`{
+	  "name": "field-unit",
+	  "addr": "02:EE:40:00:00:07",
+	  "profile": {"stack": "bluedroid", "btVersion": "5.0"},
+	  "ports": [
+	    {"psm": 1, "name": "Service Discovery"},
+	    {"psm": 3, "name": "RFCOMM"},
+	    {"psm": 4097, "name": "vendor-control"}
+	  ],
+	  "defects": ["ccb-null-deref"]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := corpus.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{
+		Devices:          []string{"D2"},
+		CustomDevices:    []device.Spec{spec},
+		Kinds:            []Kind{KindL2Fuzz},
+		BaseSeed:         7,
+		Workers:          2,
+		MaxPacketsPerJob: 20_000,
+		Corpus:           store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerDevice["field-unit"] == nil || rep.PerDevice["field-unit"].Findings == 0 {
+		t.Fatal("custom target produced no findings; the embedding would be unexercised")
+	}
+
+	entries, err := store.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayedCustom bool
+	for _, e := range entries {
+		switch e.Trace.Target {
+		case "field-unit":
+			if len(e.Spec) == 0 {
+				t.Fatalf("custom-target entry %v embeds no spec", e.Signature)
+			}
+			res, err := corpus.Replay(e, corpus.ReplayConfig{})
+			if err != nil {
+				t.Fatalf("spec-less replay of custom-target entry %v: %v", e.Signature, err)
+			}
+			if !res.Reproduced {
+				t.Errorf("embedded-spec replay of %v did not reproduce: %+v", e.Signature, res)
+			}
+			replayedCustom = true
+		case "D2":
+			if len(e.Spec) != 0 {
+				t.Errorf("catalog-target entry %v embeds a spec: %s", e.Signature, e.Spec)
+			}
+		}
+	}
+	if !replayedCustom {
+		t.Fatal("no custom-target entry was persisted")
 	}
 }
 

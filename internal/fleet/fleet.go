@@ -8,6 +8,7 @@ import (
 
 	"l2fuzz/internal/bt/device"
 	"l2fuzz/internal/corpus"
+	"l2fuzz/internal/telemetry"
 )
 
 // Kind selects the fuzzer a job runs.
@@ -122,6 +123,21 @@ type Config struct {
 	// calls serialized (done counts completed jobs so far, total the
 	// matrix size). It must not mutate the result.
 	OnJobDone func(res JobResult, done, total int)
+	// Counters, when set, receives the farm's hot-path telemetry: frame
+	// and byte counts from the rigs' radio media, packet and mutation
+	// counts from the fuzzer cores, and job/finding counts from the
+	// worker loop. Share the same Counters with a telemetry server to
+	// watch the farm live. Traffic counts batch per job — each job tallies
+	// into a private Counters merged in at job end, keeping shared cache
+	// lines off the per-packet path — while job and finding counts land
+	// as they happen.
+	Counters *telemetry.Counters
+	// Journal, when set, persists the farm run as structured JSONL: a
+	// farm header at Start, then every job start, job result and fresh
+	// finding in emission order. ReplayJournal folds a persisted stream
+	// back into the Report the live farm produced. Journal write errors
+	// never stop the farm; check Journal.Err after the run.
+	Journal *telemetry.Journal
 
 	// targets is the resolved device axis — catalog specs for Devices
 	// entries followed by owned copies of CustomDevices — populated by
@@ -243,7 +259,11 @@ type Job struct {
 	Device string
 	// Spec is the resolved target spec the job runs against. Catalog
 	// jobs share the package-wide catalog specs; treat it as read-only.
-	Spec *device.Spec
+	// Excluded from JSON: specs carry defect-trigger closures encoding/
+	// json cannot represent (the telemetry endpoint serves report
+	// snapshots as JSON; device.EncodeSpec is the spec codec, and
+	// Device keeps the name).
+	Spec *device.Spec `json:"-"`
 	// Kind is the fuzzer kind.
 	Kind Kind
 	// Variant names the job's configuration variant.

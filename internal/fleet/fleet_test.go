@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"bytes"
+	"encoding/json"
 	"reflect"
 	"testing"
 
@@ -42,6 +44,10 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	if len(serial.Findings) == 0 {
 		t.Fatal("matrix produced no findings; the comparison would be vacuous")
 	}
+	// Real per-job wall time is legitimately scheduling-dependent;
+	// everything else must match.
+	serial.ScrubWall()
+	parallel.ScrubWall()
 	if !reflect.DeepEqual(serial.Findings, parallel.Findings) {
 		t.Errorf("de-duplicated finding sets differ:\nserial:   %+v\nparallel: %+v",
 			serial.Findings, parallel.Findings)
@@ -56,7 +62,6 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	}
 	// The whole report, not just the jobs, must be scheduling-
 	// independent (wall time and pool size aside).
-	serial.Wall, parallel.Wall = 0, 0
 	serial.Workers, parallel.Workers = 0, 0
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Error("aggregated reports differ between worker counts")
@@ -239,5 +244,29 @@ func TestJobSeedsDistinctAndStable(t *testing.T) {
 		if j.Seed != jobSeed(99, j.Device, j.Kind, j.Variant, j.Shard) {
 			t.Errorf("seed for %v not a pure function of its coordinates", j)
 		}
+	}
+}
+
+// TestReportJSONMarshalable pins that a live farm report serializes as
+// JSON — the telemetry endpoint's /snapshot path marshals Aggregator
+// snapshots verbatim, and catalog specs carry defect-trigger closures
+// that must stay out of the encoding (Job.Spec is json:"-").
+func TestReportJSONMarshalable(t *testing.T) {
+	report, err := Run(Config{
+		Devices:          []string{"D2"},
+		Shards:           1,
+		BaseSeed:         7,
+		Workers:          1,
+		MaxPacketsPerJob: 15_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatalf("farm report does not marshal: %v", err)
+	}
+	if !bytes.Contains(data, []byte(`"Device":"D2"`)) {
+		t.Fatalf("marshaled report names no D2 job:\n%s", data)
 	}
 }

@@ -1,0 +1,255 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"l2fuzz/internal/bt/device"
+	"l2fuzz/internal/core"
+	"l2fuzz/internal/metrics"
+	"l2fuzz/internal/telemetry"
+)
+
+// journalVersion pins the farm record schema. ReplayJournal refuses a
+// journal written under a different version rather than silently
+// misfolding it.
+const journalVersion = 1
+
+// The farm's journal record types. A journal additionally carries
+// telemetry.RecordSample records when the writer runs a counter
+// sampler; replay ignores them.
+const (
+	recFarm       = "farm"
+	recJobStarted = "job-started"
+	recJobDone    = "job-done"
+	recFinding    = "finding"
+)
+
+// journalFarm is the run header: enough of the matrix shape to sanity-
+// check a replay config against the journal it is asked to fold.
+type journalFarm struct {
+	Version  int      `json:"version"`
+	Jobs     int      `json:"jobs"`
+	Workers  int      `json:"workers"`
+	BaseSeed int64    `json:"baseSeed"`
+	Targets  []string `json:"targets"`
+	Kinds    []Kind   `json:"kinds"`
+	Variants []string `json:"variants"`
+	Shards   int      `json:"shards"`
+}
+
+// journalJob is a Job minus its resolved Spec pointer — replay resolves
+// the spec again from the config's target list.
+type journalJob struct {
+	Index      int    `json:"index"`
+	Device     string `json:"device"`
+	Kind       Kind   `json:"kind"`
+	Variant    string `json:"variant"`
+	Shard      int    `json:"shard"`
+	Seed       int64  `json:"seed"`
+	MaxPackets int    `json:"maxPackets"`
+}
+
+type journalStarted struct {
+	Job   journalJob `json:"job"`
+	Done  int        `json:"done"`
+	Total int        `json:"total"`
+}
+
+type journalOccurrence struct {
+	Finding core.Finding `json:"finding"`
+	Count   int          `json:"count"`
+	Dump    string       `json:"dump,omitempty"`
+}
+
+type journalResult struct {
+	Job         journalJob          `json:"job"`
+	Err         string              `json:"err,omitempty"`
+	PacketsSent int                 `json:"packetsSent"`
+	ElapsedNs   time.Duration       `json:"elapsedNs"`
+	WallNs      time.Duration       `json:"wallNs"`
+	Crashed     bool                `json:"crashed,omitempty"`
+	Findings    []journalOccurrence `json:"findings,omitempty"`
+	Summary     metrics.Summary     `json:"summary"`
+	Done        int                 `json:"done"`
+	Total       int                 `json:"total"`
+}
+
+type journalFinding struct {
+	Record FindingRecord `json:"record"`
+	Job    journalJob    `json:"job"`
+	Done   int           `json:"done"`
+	Total  int           `json:"total"`
+}
+
+func toJournalJob(j Job) journalJob {
+	return journalJob{
+		Index:      j.Index,
+		Device:     j.Device,
+		Kind:       j.Kind,
+		Variant:    j.Variant,
+		Shard:      j.Shard,
+		Seed:       j.Seed,
+		MaxPackets: j.MaxPackets,
+	}
+}
+
+func fromJournalJob(j journalJob, specs map[string]*device.Spec) Job {
+	return Job{
+		Index:      j.Index,
+		Device:     j.Device,
+		Spec:       specs[j.Device],
+		Kind:       j.Kind,
+		Variant:    j.Variant,
+		Shard:      j.Shard,
+		Seed:       j.Seed,
+		MaxPackets: j.MaxPackets,
+	}
+}
+
+// journalHeader writes the run header at Start.
+func (f *Farm) journalHeader(jobs []Job) {
+	if f.cfg.Journal == nil {
+		return
+	}
+	hdr := journalFarm{
+		Version:  journalVersion,
+		Jobs:     len(jobs),
+		Workers:  f.cfg.Workers,
+		BaseSeed: f.cfg.BaseSeed,
+		Shards:   f.cfg.Shards,
+		Kinds:    f.cfg.Kinds,
+	}
+	for _, t := range f.cfg.targets {
+		hdr.Targets = append(hdr.Targets, t.Name)
+	}
+	for _, v := range f.cfg.Variants {
+		hdr.Variants = append(hdr.Variants, v.Name)
+	}
+	f.cfg.Journal.Write(recFarm, hdr)
+}
+
+// journalStarted, journalResult and journalFinding record the event
+// stream; all three run under emitMu, so journal order matches event
+// order. Write errors latch inside the journal and never stop the farm.
+func (f *Farm) journalStarted(job Job) {
+	if f.cfg.Journal == nil {
+		return
+	}
+	f.cfg.Journal.Write(recJobStarted, journalStarted{Job: toJournalJob(job), Done: f.done, Total: f.total})
+}
+
+func (f *Farm) journalResult(res JobResult) {
+	if f.cfg.Journal == nil {
+		return
+	}
+	jr := journalResult{
+		Job:         toJournalJob(res.Job),
+		PacketsSent: res.PacketsSent,
+		ElapsedNs:   res.Elapsed,
+		WallNs:      res.Wall,
+		Crashed:     res.Crashed,
+		Summary:     res.Summary,
+		Done:        f.done,
+		Total:       f.total,
+	}
+	if res.Err != nil {
+		jr.Err = res.Err.Error()
+	}
+	for _, occ := range res.Findings {
+		jr.Findings = append(jr.Findings, journalOccurrence{Finding: occ.Finding, Count: occ.Count, Dump: occ.Dump})
+	}
+	f.cfg.Journal.Write(recJobDone, jr)
+}
+
+func (f *Farm) journalFinding(rec FindingRecord, job Job) {
+	if f.cfg.Journal == nil {
+		return
+	}
+	f.cfg.Journal.Write(recFinding, journalFinding{Record: rec, Job: toJournalJob(job), Done: f.done, Total: f.total})
+}
+
+// ReplayJournal folds a persisted run journal back into a Report, using
+// the same Aggregator the live farm used, so the replayed report equals
+// the live one field for field — job results (including per-job wall
+// times, which are read from the journal, not re-measured), breakdown
+// tables, merged metrics and de-duplicated findings. Only the top-level
+// Wall is zero: the farm stamps it from its own clock, which a replay
+// does not have.
+//
+// cfg must be the configuration the journal was written under; the
+// journal's header is checked against the matrix it builds. Replay is a
+// pure re-fold: Corpus, Journal, Counters and OnJobDone are stripped,
+// so replaying never writes store entries — which also means the Known
+// flags of a corpus-backed run are not reconstructed (a replayed report
+// marks every finding new). Repro traces are store-owned and never
+// journaled, so replayed findings carry none.
+func ReplayJournal(cfg Config, r io.Reader) (*Report, error) {
+	cfg.Corpus = nil
+	cfg.Journal = nil
+	cfg.Counters = nil
+	cfg.OnJobDone = nil
+	rcfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	jobs := buildJobs(rcfg)
+	agg := newAggregator(rcfg, len(jobs))
+	specs := make(map[string]*device.Spec, len(rcfg.targets))
+	for _, t := range rcfg.targets {
+		specs[t.Name] = t
+	}
+	sawHeader := false
+	err = telemetry.DecodeJournal(r, func(rec telemetry.Record) error {
+		switch rec.Type {
+		case recFarm:
+			var hdr journalFarm
+			if err := json.Unmarshal(rec.Data, &hdr); err != nil {
+				return fmt.Errorf("fleet: farm record: %w", err)
+			}
+			if hdr.Version != journalVersion {
+				return fmt.Errorf("fleet: journal schema version %d, this build reads %d", hdr.Version, journalVersion)
+			}
+			if hdr.Jobs != len(jobs) {
+				return fmt.Errorf("fleet: journal covers %d jobs but the config builds a %d-job matrix — wrong config for this journal", hdr.Jobs, len(jobs))
+			}
+			sawHeader = true
+		case recJobDone:
+			if !sawHeader {
+				return errors.New("fleet: journal carries results before its farm header")
+			}
+			var jr journalResult
+			if err := json.Unmarshal(rec.Data, &jr); err != nil {
+				return fmt.Errorf("fleet: job-done record: %w", err)
+			}
+			res := JobResult{
+				Job:         fromJournalJob(jr.Job, specs),
+				PacketsSent: jr.PacketsSent,
+				Elapsed:     jr.ElapsedNs,
+				Wall:        jr.WallNs,
+				Crashed:     jr.Crashed,
+				Summary:     jr.Summary,
+			}
+			if jr.Err != "" {
+				res.Err = errors.New(jr.Err)
+			}
+			for _, occ := range jr.Findings {
+				res.Findings = append(res.Findings, Occurrence{Finding: occ.Finding, Count: occ.Count, Dump: occ.Dump})
+			}
+			agg.Add(res)
+		}
+		// job-started, finding and sample records carry no state the
+		// fold does not reconstruct; they exist for progress curves.
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, errors.New("fleet: not a farm journal (no farm header record)")
+	}
+	return agg.Snapshot(), nil
+}

@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"l2fuzz/internal/telemetry"
+)
+
+// journalMatrix is a small finding-producing matrix for the journal
+// tests: two catalog devices across the three finding-capable kinds,
+// two shards each.
+func journalMatrix(workers int) Config {
+	return Config{
+		Devices:          []string{"D2", "D5"},
+		Kinds:            []Kind{KindL2Fuzz, KindRFCOMM, KindCampaign},
+		Shards:           2,
+		BaseSeed:         7,
+		Workers:          workers,
+		MaxPacketsPerJob: 20_000,
+		CampaignRuns:     2,
+	}
+}
+
+// TestJournalReplayReproducesReport is the tentpole's acceptance
+// criterion: folding a persisted journal back through ReplayJournal
+// must reproduce the live farm's Report — including the per-job wall
+// times read back from the journal — byte-identically in its rendered
+// form and deeply equal as a structure. Only the farm-level Wall is
+// exempt: the live farm stamps it from its own clock.
+func TestJournalReplayReproducesReport(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := journalMatrix(4)
+	cfg.Journal = telemetry.NewJournal(&buf)
+	live, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Journal.Err(); err != nil {
+		t.Fatalf("journal error after run: %v", err)
+	}
+	if len(live.Findings) == 0 {
+		t.Fatal("matrix produced no findings; the replay comparison would be vacuous")
+	}
+
+	replayed, err := ReplayJournal(journalMatrix(4), bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Wall = 0
+	if !reflect.DeepEqual(live, replayed) {
+		t.Errorf("replayed report differs from live report:\nlive:     %+v\nreplayed: %+v", live, replayed)
+	}
+	if l, r := live.Render(), replayed.Render(); l != r {
+		t.Errorf("rendered reports differ:\nlive:\n%s\nreplayed:\n%s", l, r)
+	}
+	if live.TotalJobWall == 0 {
+		t.Error("live report has no summed job wall time; the wall comparison was vacuous")
+	}
+}
+
+// TestJournalReplayRejectsMismatches pins the replay guardrails: a
+// journal must carry a farm header and that header must describe the
+// matrix the replay config builds.
+func TestJournalReplayRejectsMismatches(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := journalMatrix(2)
+	cfg.Journal = telemetry.NewJournal(&buf)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	wrong := journalMatrix(2)
+	wrong.Shards = 1
+	if _, err := ReplayJournal(wrong, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("replay with a mismatched matrix succeeded")
+	}
+	if _, err := ReplayJournal(journalMatrix(2), strings.NewReader("")); err == nil {
+		t.Error("replay of an empty journal succeeded")
+	}
+}
+
+// TestJournalSchemaGolden pins the journal's record schema: the union
+// of JSON field paths (with value kinds) per record type, over a
+// finding-producing farm plus a counter sample. A record gaining,
+// losing or re-typing a field must regenerate the golden deliberately.
+func TestJournalSchemaGolden(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := journalMatrix(4)
+	cfg.Journal = telemetry.NewJournal(&buf)
+	cfg.Counters = &telemetry.Counters{}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("matrix produced no findings; the finding record schema would be unpinned")
+	}
+	if err := cfg.Journal.Sample(cfg.Counters); err != nil {
+		t.Fatal(err)
+	}
+
+	paths := make(map[string]bool)
+	err = telemetry.DecodeJournal(bytes.NewReader(buf.Bytes()), func(rec telemetry.Record) error {
+		var payload any
+		if err := json.Unmarshal(rec.Data, &payload); err != nil {
+			return err
+		}
+		flattenJSON(rec.Type, payload, paths)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	got := strings.Join(sorted, "\n") + "\n"
+
+	golden := "testdata/journal_schema.golden"
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (rerun with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("journal schema drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// flattenJSON records every field path of a decoded JSON value with its
+// terminal kind, e.g. "job-done.summary.States[]:string".
+func flattenJSON(prefix string, v any, out map[string]bool) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			flattenJSON(prefix+"."+k, child, out)
+		}
+	case []any:
+		for _, child := range x {
+			flattenJSON(prefix+"[]", child, out)
+		}
+	case string:
+		out[prefix+":string"] = true
+	case float64:
+		out[prefix+":number"] = true
+	case bool:
+		out[prefix+":boolean"] = true
+	case nil:
+		out[prefix+":null"] = true
+	default:
+		out[fmt.Sprintf("%s:%T", prefix, v)] = true
+	}
+}

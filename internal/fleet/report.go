@@ -32,6 +32,9 @@ type JobResult struct {
 	PacketsSent int
 	// Elapsed is the job's simulated duration.
 	Elapsed time.Duration
+	// Wall is the job's real-time duration on its worker, measured
+	// around the job run with the monotonic clock.
+	Wall time.Duration
 	// Findings are the job's detections (empty for baseline kinds).
 	Findings []Occurrence
 	// Crashed reports whether the target device ended the job crashed.
@@ -95,6 +98,9 @@ type GroupStats struct {
 	Findings int
 	// Crashes counts jobs that left the device crashed.
 	Crashes int
+	// Wall sums the real time the group's jobs spent on workers,
+	// including failed jobs (they consumed worker time too).
+	Wall time.Duration
 }
 
 // VariantStats is a per-variant breakdown row: the job counters plus
@@ -122,6 +128,10 @@ type Report struct {
 	TotalSimTime time.Duration
 	// Wall is the real time the farm took.
 	Wall time.Duration
+	// TotalJobWall sums real per-job wall durations across all workers
+	// — the serial-equivalent real cost of the matrix. With W workers
+	// and no scheduling gaps it approaches W×Wall.
+	TotalJobWall time.Duration
 	// Workers is the pool size used.
 	Workers int
 	// Findings are the de-duplicated findings in first-seen matrix
@@ -194,8 +204,9 @@ func (r *Report) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fleet report: %d jobs (%d failed), %d workers\n",
 		len(r.Jobs), r.Failed, r.Workers)
-	fmt.Fprintf(&b, "traffic: %d packets, %v simulated, %v wall\n",
-		r.TotalPackets, r.TotalSimTime.Round(time.Millisecond), r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "traffic: %d packets, %v simulated, %v wall (%v in jobs)\n",
+		r.TotalPackets, r.TotalSimTime.Round(time.Millisecond), r.Wall.Round(time.Millisecond),
+		r.TotalJobWall.Round(time.Millisecond))
 	fmt.Fprintf(&b, "metrics: MP %.2f%%  PR %.2f%%  efficiency %.2f%%  %.0f pkt/s (serial-equivalent), %d states covered\n",
 		100*r.Metrics.MPRatio, 100*r.Metrics.PRRatio,
 		100*r.Metrics.MutationEfficiency, r.Metrics.PacketsPerSecond,
@@ -220,10 +231,10 @@ func (r *Report) Render() string {
 		}
 	}
 	b.WriteString("\nPer device:\n")
-	fmt.Fprintf(&b, "  %-*s %5s %6s %10s %9s %8s\n", devW, "device", "jobs", "failed", "packets", "findings", "crashes")
+	fmt.Fprintf(&b, "  %-*s %5s %6s %10s %9s %8s %10s\n", devW, "device", "jobs", "failed", "packets", "findings", "crashes", "wall")
 	for _, id := range sortedKeys(r.PerDevice) {
 		g := r.PerDevice[id]
-		fmt.Fprintf(&b, "  %-*s %5d %6d %10d %9d %8d\n", devW, id, g.Jobs, g.Failed, g.Packets, g.Findings, g.Crashes)
+		fmt.Fprintf(&b, "  %-*s %5d %6d %10d %9d %8d %10v\n", devW, id, g.Jobs, g.Failed, g.Packets, g.Findings, g.Crashes, g.Wall.Round(time.Millisecond))
 	}
 
 	b.WriteString("\nPer fuzzer:\n")
@@ -274,6 +285,28 @@ func (r *Report) Render() string {
 			strings.Join(f.Devices, ","), strings.Join(kinds, ","), known)
 	}
 	return b.String()
+}
+
+// ScrubWall zeroes every real-time field — the farm Wall, the summed
+// per-job wall, each job's Wall and every per-group wall sum — so
+// reports from separate runs can be compared for everything except
+// wall-clock time. Simulated durations are untouched: they are
+// deterministic and comparisons should cover them.
+func (r *Report) ScrubWall() {
+	r.Wall = 0
+	r.TotalJobWall = 0
+	for i := range r.Jobs {
+		r.Jobs[i].Wall = 0
+	}
+	for _, g := range r.PerDevice {
+		g.Wall = 0
+	}
+	for _, g := range r.PerKind {
+		g.Wall = 0
+	}
+	for _, g := range r.PerVariant {
+		g.Wall = 0
+	}
 }
 
 func sortedKeys(m map[string]*GroupStats) []string {

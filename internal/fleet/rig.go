@@ -13,6 +13,7 @@ import (
 	"l2fuzz/internal/fuzzers/bss"
 	"l2fuzz/internal/fuzzers/defensics"
 	"l2fuzz/internal/rfcommfuzz"
+	"l2fuzz/internal/telemetry"
 	"l2fuzz/internal/testbed"
 )
 
@@ -31,6 +32,7 @@ func newRig(cfg Config, job Job) (*testbed.Rig, error) {
 		DisableVulns: cfg.MeasurementGrade,
 		RFCOMM:       job.Kind == KindRFCOMM,
 		TesterName:   "farm-worker",
+		Counters:     cfg.Counters,
 	}
 	if cfg.Corpus != nil && job.Kind.producesFindings() {
 		// Corpus-backed farms record the repro traces of every job
@@ -83,6 +85,18 @@ func ensureTraceLimit(r *testbed.Rig, budget int) {
 // are recorded, not returned: one failed cell must not bring the farm
 // down.
 func runJob(cfg Config, job Job) JobResult {
+	if cfg.Counters != nil {
+		// The job counts into a private Counters whose cache lines stay
+		// local to this worker, merged into the farm-wide set once at
+		// job end — per-packet bumps must never bounce a shared cache
+		// line between cores (measured at ~9% farm throughput when they
+		// do). The live endpoint's traffic counters advance per
+		// completed job; the job lifecycle counters stay live.
+		farm := cfg.Counters
+		local := &telemetry.Counters{}
+		cfg.Counters = local
+		defer func() { farm.Merge(local.Snapshot()) }()
+	}
 	res := JobResult{Job: job}
 	r, err := newRig(cfg, job)
 	if err != nil {
@@ -92,7 +106,7 @@ func runJob(cfg Config, job Job) JobResult {
 	v := cfg.variant(job.Variant)
 	switch job.Kind {
 	case KindL2Fuzz:
-		runL2Fuzz(r, job, v, &res)
+		runL2Fuzz(cfg, r, job, v, &res)
 	case KindDefensics, KindBFuzz, KindBSS:
 		runBaseline(r, job, &res)
 	case KindRFCOMM:
@@ -105,15 +119,19 @@ func runJob(cfg Config, job Job) JobResult {
 	}
 	res.Crashed = r.Device.Crashed()
 	res.Summary = r.Sniffer.Summary()
+	r.FlushTelemetry()
 	return res
 }
 
-func runL2Fuzz(r *testbed.Rig, job Job, v Variant, res *JobResult) {
+func runL2Fuzz(cfg Config, r *testbed.Rig, job Job, v Variant, res *JobResult) {
 	fcfg := core.DefaultConfig(job.Seed)
 	fcfg.MaxPackets = job.MaxPackets
 	if v.Core != nil {
 		v.Core(&fcfg)
 	}
+	// Telemetry wires after the variant hook so a variant cannot
+	// accidentally detach the farm's counters.
+	fcfg.Counters = cfg.Counters
 	budget := fcfg.MaxPackets
 	if budget <= 0 {
 		// Mirror the runner's zero-means-default normalization, or a
@@ -219,6 +237,18 @@ func runCampaign(cfg Config, r *testbed.Rig, job Job, v Variant, res *JobResult)
 				prev(fc)
 			}
 			v.Core(fc)
+		}
+	}
+	if cfg.Counters != nil {
+		// Chain last so every per-run core config carries the farm's
+		// counters, whatever the variant hooks rewrote.
+		prev := ccfg.MutateFuzz
+		ctr := cfg.Counters
+		ccfg.MutateFuzz = func(fc *core.Config) {
+			if prev != nil {
+				prev(fc)
+			}
+			fc.Counters = ctr
 		}
 	}
 	// Resolve the traffic budget the way the campaign runner will —

@@ -38,6 +38,10 @@ func (t EventType) String() string {
 type Event struct {
 	// Type says what happened.
 	Type EventType
+	// Time is the emission timestamp, taken from time.Now at emission so
+	// it carries Go's monotonic clock reading — durations between events
+	// survive wall-clock steps.
+	Time time.Time
 	// Job is the matrix cell the event concerns; Job.Variant names the
 	// configuration variant it ran under, so a streaming consumer can
 	// attribute progress and findings along the variant axis.
@@ -90,6 +94,8 @@ func Start(cfg Config) (*Farm, error) {
 		start:  time.Now(),
 	}
 
+	f.journalHeader(jobs)
+
 	feed := make(chan Job)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -98,7 +104,10 @@ func Start(cfg Config) (*Farm, error) {
 			defer wg.Done()
 			for job := range feed {
 				f.emitStarted(job)
-				f.finish(runJob(cfg, job))
+				start := time.Now()
+				res := runJob(cfg, job)
+				res.Wall = time.Since(start)
+				f.finish(res)
 			}
 		}()
 	}
@@ -123,18 +132,26 @@ func (f *Farm) Events() <-chan Event { return f.events }
 func (f *Farm) emitStarted(job Job) {
 	f.emitMu.Lock()
 	defer f.emitMu.Unlock()
-	f.events <- Event{Type: EventJobStarted, Job: job, Done: f.done, Total: f.total}
+	f.cfg.Counters.CountJobStarted()
+	f.journalStarted(job)
+	f.events <- Event{Type: EventJobStarted, Time: time.Now(), Job: job, Done: f.done, Total: f.total}
 }
 
 // finish folds one result and emits its JobDone and NewFinding events.
+// Journal records are written under emitMu, so their order matches the
+// event stream's.
 func (f *Farm) finish(res JobResult) {
 	f.emitMu.Lock()
 	defer f.emitMu.Unlock()
 	fresh := f.agg.Add(res)
 	f.done++
-	f.events <- Event{Type: EventJobDone, Job: res.Job, Result: &res, Done: f.done, Total: f.total}
+	f.cfg.Counters.CountJobDone(res.Err != nil)
+	f.cfg.Counters.AddFindings(len(fresh))
+	f.journalResult(res)
+	f.events <- Event{Type: EventJobDone, Time: time.Now(), Job: res.Job, Result: &res, Done: f.done, Total: f.total}
 	for i := range fresh {
-		f.events <- Event{Type: EventNewFinding, Job: res.Job, Finding: &fresh[i], Done: f.done, Total: f.total}
+		f.journalFinding(fresh[i], res.Job)
+		f.events <- Event{Type: EventNewFinding, Time: time.Now(), Job: res.Job, Finding: &fresh[i], Done: f.done, Total: f.total}
 	}
 }
 

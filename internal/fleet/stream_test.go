@@ -28,7 +28,8 @@ func TestStreamingMatchesBatch(t *testing.T) {
 		}
 		streamed := farm.Wait()
 
-		batch.Wall, streamed.Wall = 0, 0
+		batch.ScrubWall()
+		streamed.ScrubWall()
 		if !reflect.DeepEqual(batch, streamed) {
 			t.Errorf("workers=%d: streamed report differs from batch report", workers)
 		}
@@ -147,7 +148,7 @@ func TestAggregatorFoldOrderIndependence(t *testing.T) {
 	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
 		t.Error("aggregator snapshots depend on fold order")
 	}
-	rep.Wall = 0
+	rep.Wall = 0 // the aggregator never stamps farm wall time
 	if !reflect.DeepEqual(a, rep) {
 		t.Error("re-folded snapshot differs from the original report")
 	}

@@ -50,7 +50,8 @@ func TestEmptyVariantsMatchExplicitBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	implicit.Wall, pinned.Wall = 0, 0
+	implicit.ScrubWall()
+	pinned.ScrubWall()
 	if !reflect.DeepEqual(implicit, pinned) {
 		t.Error("empty-variant report differs from explicit-baseline report")
 	}
@@ -127,7 +128,8 @@ func TestVariantMatrixWorkerIndependence(t *testing.T) {
 	}
 	// Wall time and pool size are the only legitimately scheduling-
 	// dependent fields.
-	serial.Wall, parallel.Wall = 0, 0
+	serial.ScrubWall()
+	parallel.ScrubWall()
 	serial.Workers, parallel.Workers = 0, 0
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Error("variant-expanded reports differ between worker counts")

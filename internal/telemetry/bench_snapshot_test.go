@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestMeasureFillsRow(t *testing.T) {
+	row := Measure(func() (int64, int) {
+		_ = make([]byte, 1<<20)
+		return 5000, 2
+	})
+	if row.Packets != 5000 || row.Findings != 2 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.WallSeconds <= 0 || row.PktsPerSec <= 0 {
+		t.Fatalf("timing not measured: %+v", row)
+	}
+	if row.MBPerOp <= 0 || row.AllocsPerOp <= 0 {
+		t.Fatalf("allocation cost not measured: %+v", row)
+	}
+}
+
+func TestBenchSnapshotRoundTrip(t *testing.T) {
+	s := NewBenchSnapshot("BenchmarkFleet", []BenchRow{
+		{Name: "workers=1", Workers: 1, Packets: 100, PktsPerSec: 50},
+		{Name: "workers=4/telemetry", Workers: 4, Telemetry: true, Packets: 400},
+	})
+	if s.Go == "" || s.CPUs == 0 {
+		t.Fatalf("host context not stamped: %+v", s)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := WriteBenchSnapshot(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip diverged:\ngot  %+v\nwant %+v", got, s)
+	}
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersNilSafe(t *testing.T) {
+	var c *Counters
+	c.CountFrame(42)
+	c.AddFrames(3, 99)
+	c.CountPacket()
+	c.AddPackets(7)
+	c.CountMalformed()
+	c.AddMalformed(2)
+	c.CountMutation()
+	c.AddMutations(2)
+	c.AddFindings(3)
+	c.CountJobStarted()
+	c.CountJobDone(true)
+	c.Merge(CounterSnapshot{Packets: 5})
+	if got := c.Snapshot(); got != (CounterSnapshot{}) {
+		t.Fatalf("nil Counters snapshot = %+v, want zero", got)
+	}
+}
+
+// TestCountersMerge pins the batch path: a private per-job counter
+// merged into a shared set must land every field.
+func TestCountersMerge(t *testing.T) {
+	var job Counters
+	job.AddFrames(4, 512)
+	job.AddPackets(100)
+	job.AddMalformed(60)
+	job.AddMutations(99)
+	var farm Counters
+	farm.CountJobStarted()
+	farm.Merge(job.Snapshot())
+	farm.CountJobDone(false)
+	want := CounterSnapshot{
+		Frames: 4, Bytes: 512, Packets: 100, Malformed: 60, Mutations: 99,
+		JobsStarted: 1, JobsDone: 1,
+	}
+	if got := farm.Snapshot(); got != want {
+		t.Fatalf("merged snapshot = %+v, want %+v", got, want)
+	}
+}
+
+func TestCountersSnapshot(t *testing.T) {
+	var c Counters
+	c.CountFrame(100)
+	c.CountFrame(24)
+	c.CountPacket()
+	c.AddPackets(9)
+	c.CountMalformed()
+	c.CountMutation()
+	c.CountMutation()
+	c.AddFindings(2)
+	c.CountJobStarted()
+	c.CountJobStarted()
+	c.CountJobDone(false)
+	c.CountJobDone(true)
+	want := CounterSnapshot{
+		Frames:      2,
+		Bytes:       124,
+		Packets:     10,
+		Malformed:   1,
+		Mutations:   2,
+		Findings:    2,
+		JobsStarted: 2,
+		JobsDone:    2,
+		JobsFailed:  1,
+	}
+	if got := c.Snapshot(); got != want {
+		t.Fatalf("snapshot = %+v, want %+v", got, want)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.CountFrame(10)
+				c.CountPacket()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Frames != workers*per || s.Bytes != workers*per*10 || s.Packets != workers*per {
+		t.Fatalf("concurrent snapshot = %+v", s)
+	}
+}

@@ -74,6 +74,25 @@
 //	...
 //	res, err := l2fuzz.ReplayCorpusEntry(entry, l2fuzz.CorpusReplayConfig{})
 //	fmt.Println(res.Reproduced, res.RootCause.Render())
+//
+// Running farms are observable. FleetConfig.Counters taps the packet
+// hot path with allocation-free atomic counters, FleetConfig.Journal
+// records every farm event (plus periodic counter samples) as a
+// timestamped JSONL run journal that ReplayFleetJournal can fold back
+// into the exact live report, and ServeTelemetry exposes counters,
+// Prometheus-format metrics, live report snapshots and pprof over HTTP
+// while the farm runs (cmd/l2farm's -telemetry and -journal flags are
+// the CLI form):
+//
+//	ctr := &l2fuzz.TelemetryCounters{}
+//	journal, err := l2fuzz.OpenTelemetryJournal("runs/run-1")
+//	...
+//	farm, err := l2fuzz.StartFleet(l2fuzz.FleetConfig{Counters: ctr, Journal: journal})
+//	...
+//	srv, err := l2fuzz.ServeTelemetry("localhost:6060", l2fuzz.TelemetryServerConfig{
+//	    Counters: ctr,
+//	    Snapshot: func() any { return farm.Snapshot() },
+//	})
 package l2fuzz
 
 import (
@@ -96,6 +115,7 @@ import (
 	"l2fuzz/internal/fuzzers/defensics"
 	"l2fuzz/internal/metrics"
 	"l2fuzz/internal/rfcommfuzz"
+	"l2fuzz/internal/telemetry"
 	"l2fuzz/internal/triage"
 )
 
@@ -206,6 +226,32 @@ type (
 	// CorpusMinimizeResult is the delta-debugged (minimal still-crashing)
 	// form of an entry's trace.
 	CorpusMinimizeResult = corpus.MinimizeResult
+	// TelemetryCounters is a set of allocation-free atomic hot-path
+	// counters (frames, packets, mutations, findings, job lifecycle).
+	// Wire one into a farm via FleetConfig.Counters; all methods are
+	// safe on a nil receiver, so instrumentation is zero-cost when off.
+	TelemetryCounters = telemetry.Counters
+	// TelemetryCounterSnapshot is a consistent point-in-time reading of
+	// a counter set.
+	TelemetryCounterSnapshot = telemetry.CounterSnapshot
+	// TelemetryJournal is a structured JSONL run journal: farm events
+	// and periodic counter samples as timestamped records. Wire one into
+	// a farm via FleetConfig.Journal; replay it with ReplayFleetJournal.
+	TelemetryJournal = telemetry.Journal
+	// TelemetryRecord is one timestamped journal record.
+	TelemetryRecord = telemetry.Record
+	// TelemetryServer is a live introspection HTTP server (expvar,
+	// Prometheus text metrics, report snapshots, pprof).
+	TelemetryServer = telemetry.Server
+	// TelemetryServerConfig wires counters and a snapshot source into a
+	// TelemetryServer.
+	TelemetryServerConfig = telemetry.ServerConfig
+	// BenchRow is one recorded benchmark measurement (packets/s, MB and
+	// allocations per op).
+	BenchRow = telemetry.BenchRow
+	// BenchSnapshot is a committed benchmark trajectory: environment
+	// fingerprint plus measurement rows (the repo's BENCH_*.json files).
+	BenchSnapshot = telemetry.BenchSnapshot
 )
 
 // The farm event types.
@@ -299,6 +345,60 @@ func ReplayCorpusEntry(e CorpusEntry, cfg CorpusReplayConfig) (*CorpusReplayResu
 func MinimizeCorpusEntry(e CorpusEntry, cfg CorpusMinimizeConfig) (*CorpusMinimizeResult, error) {
 	return corpus.Minimize(e, cfg)
 }
+
+// TelemetryJournalFile is the file name OpenTelemetryJournal creates in
+// its run directory.
+const TelemetryJournalFile = telemetry.JournalFile
+
+// NewTelemetryJournal builds a run journal writing JSONL records to w.
+func NewTelemetryJournal(w io.Writer) *TelemetryJournal { return telemetry.NewJournal(w) }
+
+// OpenTelemetryJournal creates dir (and parents) and opens a fresh
+// journal file inside it, refusing to overwrite an existing one — each
+// run gets its own directory.
+func OpenTelemetryJournal(dir string) (*TelemetryJournal, error) { return telemetry.OpenJournal(dir) }
+
+// DecodeTelemetryJournal streams a journal's records through fn.
+func DecodeTelemetryJournal(r io.Reader, fn func(TelemetryRecord) error) error {
+	return telemetry.DecodeJournal(r, fn)
+}
+
+// ReplayFleetJournal folds a recorded run journal back through a fresh
+// aggregator and returns the reconstructed farm report. cfg must
+// describe the same job matrix the journal was recorded from; the
+// reconstructed report matches the live one exactly (the farm-level
+// Wall aside, which only the live farm's clock can stamp).
+func ReplayFleetJournal(cfg FleetConfig, r io.Reader) (*FleetReport, error) {
+	return fleet.ReplayJournal(cfg, r)
+}
+
+// ServeTelemetry starts the live introspection endpoint on addr
+// (e.g. "localhost:6060"): /debug/vars, /metrics in Prometheus text
+// format, /snapshot with the configured snapshot source, and
+// /debug/pprof. Close shuts it down.
+func ServeTelemetry(addr string, cfg TelemetryServerConfig) (*TelemetryServer, error) {
+	return telemetry.Serve(addr, cfg)
+}
+
+// MeasureBenchRow runs fn under runtime memory accounting and returns a
+// benchmark row with its packet rate and per-op allocation figures.
+func MeasureBenchRow(fn func() (packets int64, findings int)) BenchRow { return telemetry.Measure(fn) }
+
+// NewBenchSnapshot stamps measurement rows with the running binary's
+// environment fingerprint.
+func NewBenchSnapshot(bench string, rows []BenchRow) BenchSnapshot {
+	return telemetry.NewBenchSnapshot(bench, rows)
+}
+
+// WriteBenchSnapshot writes a benchmark trajectory as indented JSON —
+// the format of the repo's committed BENCH_*.json files.
+func WriteBenchSnapshot(path string, s BenchSnapshot) error {
+	return telemetry.WriteBenchSnapshot(path, s)
+}
+
+// ReadBenchSnapshot reads a benchmark trajectory written by
+// WriteBenchSnapshot.
+func ReadBenchSnapshot(path string) (BenchSnapshot, error) { return telemetry.ReadBenchSnapshot(path) }
 
 // Connection-error classes (paper §III-E).
 const (

@@ -281,7 +281,8 @@ func TestFleetStreamingThroughPublicAPI(t *testing.T) {
 	}
 	streamed := farm.Wait()
 
-	batch.Wall, streamed.Wall = 0, 0
+	batch.ScrubWall()
+	streamed.ScrubWall()
 	if b, s := batch.Render(), streamed.Render(); b != s {
 		t.Errorf("streamed farm disagrees with batch farm:\nbatch:\n%s\nstreamed:\n%s", b, s)
 	}
