@@ -47,7 +47,7 @@
 //
 // Usage:
 //
-//	l2farm [-devices all|none|D1,D2,...] [-fuzzers l2fuzz,defensics,bfuzz,bss,rfcomm,campaign]
+//	l2farm [-devices all|none|D1,D2,...] [-fuzzers l2fuzz,defensics,bfuzz,bss,rfcomm,campaign,sdp,sm]
 //	       [-ablations all|baseline,no-state-guiding,all-fields,no-garbage]
 //	       [-device-file spec.json]... [-shards 1] [-workers 0] [-seed 1]
 //	       [-max-packets 250000] [-budget D3=500000]... [-corpus dir]

@@ -32,6 +32,9 @@ type Config struct {
 	RFCOMMServices []rfcomm.Service
 	// RFCOMMDefect optionally injects a defect into the multiplexer.
 	RFCOMMDefect rfcomm.MuxDefect
+	// SDPDefect optionally injects a parser defect into the device's SDP
+	// server.
+	SDPDefect sdp.ServerDefect
 }
 
 // Device is one simulated Bluetooth target.
@@ -66,6 +69,26 @@ type channel struct {
 	psm       l2cap.PSM
 }
 
+// newSDPServer builds the device's SDP server over its port map, with
+// the configured parser defect unless the device is measurement-grade.
+// New and Reset both build through it, so a reset re-arms the defect and
+// clears the crashed state exactly like the RFCOMM mux rebuild.
+func newSDPServer(ports []ServicePort, cfg Config) *sdp.Server {
+	var services []sdp.ServiceInfo
+	for i, p := range ports {
+		services = append(services, sdp.ServiceInfo{
+			Handle: 0x00010000 + uint32(i),
+			Name:   p.Name,
+			PSM:    p.PSM,
+		})
+	}
+	defect := cfg.SDPDefect
+	if cfg.DisableVulns {
+		defect = nil
+	}
+	return sdp.NewDefectiveServer(services, defect)
+}
+
 // New builds a device, registers its controller on the medium, and wires
 // the host stack.
 func New(m *radio.Medium, cfg Config) (*Device, error) {
@@ -91,20 +114,11 @@ func New(m *radio.Medium, cfg Config) (*Device, error) {
 		return nil, fmt.Errorf("device %q: %w", cfg.Name, err)
 	}
 
-	var services []sdp.ServiceInfo
-	for i, p := range ports {
-		services = append(services, sdp.ServiceInfo{
-			Handle: 0x00010000 + uint32(i),
-			Name:   p.Name,
-			PSM:    p.PSM,
-		})
-	}
-
 	d := &Device{
 		ctrl:        ctrl,
 		medium:      m,
 		cfg:         cfg,
-		sdpSrv:      sdp.NewServer(services),
+		sdpSrv:      newSDPServer(ports, cfg),
 		ports:       ports,
 		channels:    make(map[l2cap.CID]*channel),
 		nextCID:     l2cap.CIDDynamicFirst,
@@ -167,6 +181,7 @@ func (d *Device) Reset() {
 	d.channels = make(map[l2cap.CID]*channel)
 	d.closedMachines = nil
 	d.nextCID = l2cap.CIDDynamicFirst
+	d.sdpSrv = newSDPServer(d.ports, d.cfg)
 	if len(d.cfg.RFCOMMServices) > 0 {
 		defect := d.cfg.RFCOMMDefect
 		if d.cfg.DisableVulns {
@@ -234,7 +249,12 @@ func (d *Device) onData(h hci.ConnHandle, pkt l2cap.Packet) {
 	switch {
 	case ch.psm == l2cap.PSMSDP:
 		d.handlerHits["SDP"]++
-		d.send(h, l2cap.NewPacket(ch.remoteCID, d.sdpSrv.Handle(body)))
+		if rsp := d.sdpSrv.Handle(body); rsp != nil {
+			d.send(h, l2cap.NewPacket(ch.remoteCID, rsp))
+		}
+		if d.sdpSrv.Crashed() {
+			d.crashFromSDP()
+		}
 	case ch.psm == l2cap.PSMRFCOMM && d.mux != nil:
 		d.handlerHits["RFCOMM"]++
 		// RFCOMM garbage tails live beyond the declared L2CAP length;
@@ -247,6 +267,23 @@ func (d *Device) onData(h hci.ConnHandle, pkt l2cap.Packet) {
 			d.crashFromRFCOMM()
 		}
 	}
+}
+
+// crashFromSDP applies the effect of an SDP server death: the Bluetooth
+// service terminates, as with the L2CAP DoS findings.
+func (d *Device) crashFromSDP() {
+	d.dump = &CrashDump{
+		Kind:        DumpTombstone,
+		Time:        d.medium.Clock().Now(),
+		VulnID:      "sdp-declared-length-overread",
+		Fingerprint: d.cfg.Profile.Fingerprint,
+		FaultFunc:   "process_service_search_attr_req(t_sdp_cb*, unsigned char*)+312",
+		Trigger:     "SDP PDU declaring more parameter bytes than received",
+	}
+	d.serviceDown = true
+	d.ctrl.SetConnectable(false)
+	d.ctrl.SetDiscoverable(false)
+	d.dropAllLinks()
 }
 
 // crashFromRFCOMM applies the effect of an RFCOMM multiplexer death: the

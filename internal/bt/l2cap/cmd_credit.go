@@ -18,6 +18,31 @@ var (
 // credit-based command may carry (Vol 3 Part A §4.25).
 const maxECREDChannels = 5
 
+// CreditFielder is implemented by the credit-based channel commands whose
+// payloads carry flow-control negotiation values — SPSM, MTU, MPS and
+// CREDIT, the mutable-application (MA) fields of the paper's Table I for
+// the LE/enhanced credit-based command family. CreditFields returns
+// pointers into the command so a mutator can overwrite the values in
+// place, mirroring how CoreFields exposes the protocol-core fields.
+//
+// Result fields are excluded: they encode an outcome, not a negotiated
+// quantity, and the classification keeps them fixed-application.
+type CreditFielder interface {
+	Command
+	// CreditFields returns in-place references to the command's
+	// credit-negotiation fields, in wire order.
+	CreditFields() []*uint16
+}
+
+var (
+	_ CreditFielder = (*LECreditConnReq)(nil)
+	_ CreditFielder = (*LECreditConnRsp)(nil)
+	_ CreditFielder = (*FlowControlCredit)(nil)
+	_ CreditFielder = (*CreditBasedConnReq)(nil)
+	_ CreditFielder = (*CreditBasedConnRsp)(nil)
+	_ CreditFielder = (*CreditBasedReconfReq)(nil)
+)
+
 // ConnParamUpdateReq (code 0x12) proposes new connection parameters.
 // All four members are mutable-application (MA) fields in the paper's
 // classification: INTERVAL, LATENCY and TIMEOUT.
@@ -127,6 +152,11 @@ func (c *LECreditConnReq) CoreFields() CoreFields {
 	return CoreFields{CIDs: []*CID{&c.SCID}}
 }
 
+// CreditFields implements CreditFielder.
+func (c *LECreditConnReq) CreditFields() []*uint16 {
+	return []*uint16{&c.SPSM, &c.MTU, &c.MPS, &c.InitialCredits}
+}
+
 // LECreditConnRsp (code 0x15) answers an LECreditConnReq.
 type LECreditConnRsp struct {
 	// DCID is the responder-side endpoint.
@@ -171,6 +201,11 @@ func (c *LECreditConnRsp) CoreFields() CoreFields {
 	return CoreFields{CIDs: []*CID{&c.DCID}}
 }
 
+// CreditFields implements CreditFielder.
+func (c *LECreditConnRsp) CreditFields() []*uint16 {
+	return []*uint16{&c.MTU, &c.MPS, &c.InitialCredits}
+}
+
 // FlowControlCredit (code 0x16) grants additional credits on a
 // credit-based channel. Its CID names a channel endpoint in the payload,
 // so it belongs to the CIDP set.
@@ -203,6 +238,11 @@ func (c *FlowControlCredit) UnmarshalData(data []byte) error {
 // CoreFields implements Command.
 func (c *FlowControlCredit) CoreFields() CoreFields {
 	return CoreFields{CIDs: []*CID{&c.CID}}
+}
+
+// CreditFields implements CreditFielder.
+func (c *FlowControlCredit) CreditFields() []*uint16 {
+	return []*uint16{&c.Credits}
 }
 
 // cidSliceRefs converts a CID slice into per-element pointers for
@@ -291,6 +331,11 @@ func (c *CreditBasedConnReq) CoreFields() CoreFields {
 	return CoreFields{CIDs: cidSliceRefs(c.SCIDs)}
 }
 
+// CreditFields implements CreditFielder.
+func (c *CreditBasedConnReq) CreditFields() []*uint16 {
+	return []*uint16{&c.SPSM, &c.MTU, &c.MPS, &c.InitialCredits}
+}
+
 // CreditBasedConnRsp (code 0x18) answers a CreditBasedConnReq.
 type CreditBasedConnRsp struct {
 	// MTU is the responder's maximum transmission unit.
@@ -339,6 +384,11 @@ func (c *CreditBasedConnRsp) CoreFields() CoreFields {
 	return CoreFields{CIDs: cidSliceRefs(c.DCIDs)}
 }
 
+// CreditFields implements CreditFielder.
+func (c *CreditBasedConnRsp) CreditFields() []*uint16 {
+	return []*uint16{&c.MTU, &c.MPS, &c.InitialCredits}
+}
+
 // CreditBasedReconfReq (code 0x19) renegotiates MTU/MPS on enhanced
 // credit-based channels.
 type CreditBasedReconfReq struct {
@@ -378,6 +428,11 @@ func (c *CreditBasedReconfReq) UnmarshalData(data []byte) error {
 // CoreFields implements Command.
 func (c *CreditBasedReconfReq) CoreFields() CoreFields {
 	return CoreFields{CIDs: cidSliceRefs(c.DCIDs)}
+}
+
+// CreditFields implements CreditFielder.
+func (c *CreditBasedReconfReq) CreditFields() []*uint16 {
+	return []*uint16{&c.MTU, &c.MPS}
 }
 
 // CreditBasedReconfRsp (code 0x1A) answers a CreditBasedReconfReq.

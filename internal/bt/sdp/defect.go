@@ -1,0 +1,28 @@
+package sdp
+
+import "encoding/binary"
+
+// ServerDefect models an implementation flaw in an SDP server's request
+// parser: it inspects one raw request PDU and reports whether parsing
+// it kills the server. A defect fires before any response is built —
+// the server died mid-parse — so a triggered request gets no answer at
+// all, not an error response.
+type ServerDefect func(raw []byte) bool
+
+// OverreadDefect models the classic declared-length parser overread: a
+// request whose header declares more parameter bytes than the PDU
+// carries makes the parser read past the end of its receive buffer. A
+// well-formed PDU — any length, any PDU ID, including the truncated and
+// garbage requests a robust server rejects with an error response —
+// never triggers it, so ordinary service discovery traffic is safe.
+func OverreadDefect() ServerDefect {
+	return func(raw []byte) bool {
+		if len(raw) < pduHeaderSize {
+			// Shorter than a header: the parser bails before reading the
+			// declared length.
+			return false
+		}
+		declared := int(binary.BigEndian.Uint16(raw[3:5]))
+		return declared > len(raw)-pduHeaderSize
+	}
+}

@@ -198,6 +198,8 @@ func parseRecord(rec DataElement) (ServiceInfo, error) {
 // value answers with an empty service list.
 type Server struct {
 	services []ServiceInfo
+	defect   ServerDefect
+	crashed  bool
 }
 
 // NewServer builds a server over the given services. The slice is copied.
@@ -205,10 +207,30 @@ func NewServer(services []ServiceInfo) *Server {
 	return &Server{services: append([]ServiceInfo(nil), services...)}
 }
 
+// NewDefectiveServer builds a server carrying an injected parser defect.
+// A nil defect gives the same robust server NewServer builds.
+func NewDefectiveServer(services []ServiceInfo, defect ServerDefect) *Server {
+	s := NewServer(services)
+	s.defect = defect
+	return s
+}
+
+// Crashed reports whether an injected defect has killed the server.
+func (s *Server) Crashed() bool { return s.crashed }
+
 // Handle processes one raw request PDU and returns the raw response.
 // Malformed or unsupported requests get an error response, as a real SDP
-// server would produce.
+// server would produce. A request that trips the injected defect kills
+// the server mid-parse: it returns nil — no response at all — and every
+// later request is swallowed the same way.
 func (s *Server) Handle(raw []byte) []byte {
+	if s.crashed {
+		return nil
+	}
+	if s.defect != nil && s.defect(raw) {
+		s.crashed = true
+		return nil
+	}
 	pdu, err := UnmarshalPDU(raw)
 	if err != nil {
 		return PDU{ID: PDUErrorRsp, TxnID: 0, Params: []byte{0x00, 0x03}}.Marshal()

@@ -111,6 +111,15 @@ func (r *Runner) Run() (*Report, error) {
 	dry := 0
 
 	for run := 0; run < r.cfg.MaxRuns && dry < r.cfg.StopAfterDryRuns; run++ {
+		// Every run is its own trace epoch, not just the runs that follow
+		// a finding and reset. A dry run still leaves link and channel
+		// state behind on the target, so a trace spanning the boundary
+		// would replay against conditions the recorded prefix — now in an
+		// earlier epoch — created. Cutting at the boundary keeps each
+		// recorded trace self-contained from its run's first packet.
+		if rec := r.cl.Recorder(); rec != nil {
+			rec.Reset()
+		}
 		fcfg := core.DefaultConfig(r.cfg.Seed + int64(run)*7919)
 		fcfg.MaxPackets = r.cfg.MaxPacketsPerRun
 		if r.cfg.MutateFuzz != nil {
@@ -148,12 +157,6 @@ func (r *Runner) Run() (*Report, error) {
 			return nil, fmt.Errorf("campaign reset after run %d: %w", run+1, err)
 		}
 		report.Resets++
-		// The reset wiped device state no packet caused, so any recorded
-		// trace spanning it could not replay on a fresh rig. Start a new
-		// trace epoch at the same point the device restarts from.
-		if rec := r.cl.Recorder(); rec != nil {
-			rec.Reset()
-		}
 	}
 	return report, nil
 }

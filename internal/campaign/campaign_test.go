@@ -93,6 +93,38 @@ func TestCampaignSurvivesFirmwareCrashingDevice(t *testing.T) {
 	}
 }
 
+func TestCampaignCutsTraceEpochAtEveryRunBoundary(t *testing.T) {
+	// Two dry runs on a robust device: without the per-run epoch cut the
+	// recorder would accumulate both runs' operations; with it, what
+	// remains at campaign end is the final run's trace alone.
+	d, cl := campaignRig(t, "D4")
+	rec := host.NewTraceRecorder(1 << 20)
+	cl.SetRecorder(rec)
+	cfg := DefaultConfig(3)
+	cfg.MaxRuns = 8
+	cfg.MaxPacketsPerRun = 5_000
+	cfg.StopAfterDryRuns = 2
+	report, err := New(cl, d, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Runs != 2 {
+		t.Fatalf("runs = %d, want 2 dry runs", report.Runs)
+	}
+	got := rec.Len()
+	if got == 0 {
+		t.Fatal("recorder saw no operations")
+	}
+	// Each run records at least MaxPacketsPerRun operations (every send
+	// is one op), so a recorder holding both runs would exceed one run's
+	// floor twice over.
+	if got >= 2*cfg.MaxPacketsPerRun {
+		t.Fatalf("recorder holds %d ops after 2 runs of ≥%d: epoch not cut at the run boundary",
+			got, cfg.MaxPacketsPerRun)
+	}
+	t.Logf("recorder holds %d ops (one run's worth)", got)
+}
+
 func TestCampaignStopsOnDryStreak(t *testing.T) {
 	d, cl := campaignRig(t, "D4") // robust iPhone
 	cfg := DefaultConfig(3)

@@ -81,11 +81,15 @@ func New(cl *host.Client, cfg Config) *Fuzzer {
 	if cfg.NoGarbage {
 		maxGarbage = 0
 	}
+	mut := NewMutator(rng, maxGarbage)
+	// Credit-negotiation fields draw from their own stream so the core
+	// packet schedule is seed-for-seed identical with earlier versions.
+	mut.SeedCreditStream(cfg.Seed)
 	return &Fuzzer{
 		cl:           cl,
 		cfg:          cfg,
 		rng:          rng,
-		mut:          NewMutator(rng, maxGarbage),
+		mut:          mut,
 		statesTested: make(map[sm.State]bool),
 		logw:         cfg.LogWriter,
 	}

@@ -14,6 +14,12 @@ type Mutator struct {
 	// maxGarbage bounds the appended tail so the packet stays under the
 	// signaling MTU ("Signaling MTU exceeded" is avoided by construction).
 	maxGarbage int
+	// creditRNG, when seeded, drives the credit-negotiation field
+	// mutation (SPSM/MTU/MPS/CREDIT on the credit-based command family).
+	// It is a separate stream so enabling it leaves the core-field and
+	// garbage draws — and therefore every historical packet schedule —
+	// untouched.
+	creditRNG *rand.Rand
 }
 
 // NewMutator builds a mutator over the given RNG.
@@ -22,6 +28,14 @@ func NewMutator(rng *rand.Rand, maxGarbage int) *Mutator {
 		maxGarbage = 0
 	}
 	return &Mutator{rng: rng, maxGarbage: maxGarbage}
+}
+
+// SeedCreditStream enables credit-negotiation field mutation, drawing
+// values from a dedicated RNG stream seeded here. Without it the credit
+// commands keep their specification defaults (the pre-extension
+// behaviour).
+func (mu *Mutator) SeedCreditStream(seed int64) {
+	mu.creditRNG = rand.New(rand.NewSource(seed))
 }
 
 // Mutation describes what a generated packet had mutated: the ground
@@ -39,6 +53,11 @@ type Mutation struct {
 	ControllerIDMutated bool
 	// GarbageLen is the appended tail length.
 	GarbageLen int
+	// CreditFieldsMutated counts credit-negotiation fields (SPSM, MTU,
+	// MPS, CREDIT) overwritten on the credit-based command family. The
+	// field is omitted from serialized records when zero so artefacts
+	// from runs without credit mutation keep their historical shape.
+	CreditFieldsMutated int `json:",omitempty"`
 }
 
 // IsMalformed reports whether the packet differs from a well-formed
@@ -49,8 +68,12 @@ func (m Mutation) IsMalformed() bool {
 
 // String summarises the mutation for logs.
 func (m Mutation) String() string {
-	return fmt.Sprintf("%v psm=%v cids=%d cont=%v garbage=%dB",
+	s := fmt.Sprintf("%v psm=%v cids=%d cont=%v garbage=%dB",
 		m.Code, m.PSMMutated, m.CIDsMutated, m.ControllerIDMutated, m.GarbageLen)
+	if m.CreditFieldsMutated > 0 {
+		s += fmt.Sprintf(" credit=%d", m.CreditFieldsMutated)
+	}
+	return s
 }
 
 // AbnormalPSM samples the malicious PSM domain of Table IV: half the
@@ -114,7 +137,31 @@ func (mu *Mutator) Mutate(id uint8, code l2cap.CommandCode) (l2cap.Packet, Mutat
 		info.ControllerIDMutated = true
 	}
 
+	if mu.creditRNG != nil {
+		if cc, ok := cmd.(l2cap.CreditFielder); ok {
+			for _, field := range cc.CreditFields() {
+				*field = mu.creditValue()
+				info.CreditFieldsMutated++
+			}
+		}
+	}
+
 	tail := mu.Garbage()
 	info.GarbageLen = len(tail)
 	return l2cap.SignalPacket(id, cmd, tail), info, nil
+}
+
+// creditValue samples one credit-negotiation field: the boundary values
+// 0 and 0xFFFF — zero-credit stalls and maximal MTU/MPS claims are the
+// historically productive corners — each an eighth of the time,
+// otherwise uniform over the full range.
+func (mu *Mutator) creditValue() uint16 {
+	switch mu.creditRNG.Intn(8) {
+	case 0:
+		return 0
+	case 1:
+		return 0xFFFF
+	default:
+		return uint16(mu.creditRNG.Intn(0x10000))
+	}
 }

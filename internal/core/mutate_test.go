@@ -136,6 +136,121 @@ func TestMutateDeterministicForSeed(t *testing.T) {
 	}
 }
 
+func TestMutateCreditFieldsUntouchedWithoutStream(t *testing.T) {
+	// A mutator without a seeded credit stream leaves the credit
+	// commands' negotiation fields at their specification defaults — the
+	// pre-extension behaviour.
+	mu := testMutator(8)
+	def, _ := l2cap.DefaultCommand(l2cap.CodeLECreditConnReq)
+	want := def.(*l2cap.LECreditConnReq)
+	for i := 0; i < 100; i++ {
+		pkt, info, err := mu.Mutate(1, l2cap.CodeLECreditConnReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.CreditFieldsMutated != 0 {
+			t.Fatalf("CreditFieldsMutated = %d without a credit stream", info.CreditFieldsMutated)
+		}
+		frames, _ := l2cap.ParseSignals(pkt.Payload)
+		cmd, _ := l2cap.DecodeCommand(frames[0])
+		req := cmd.(*l2cap.LECreditConnReq)
+		if req.SPSM != want.SPSM || req.MTU != want.MTU || req.MPS != want.MPS || req.InitialCredits != want.InitialCredits {
+			t.Fatalf("credit fields mutated without a stream: %+v", req)
+		}
+	}
+}
+
+func TestMutateCreditFieldsWithStream(t *testing.T) {
+	mu := testMutator(9)
+	mu.SeedCreditStream(9)
+	counts := map[l2cap.CommandCode]int{
+		l2cap.CodeLECreditConnReq:      4,
+		l2cap.CodeLECreditConnRsp:      3,
+		l2cap.CodeFlowControlCredit:    1,
+		l2cap.CodeCreditBasedConnReq:   4,
+		l2cap.CodeCreditBasedConnRsp:   3,
+		l2cap.CodeCreditBasedReconfReq: 2,
+		// Non-credit commands and pure-result responses are untouched.
+		l2cap.CodeConnectionReq:        0,
+		l2cap.CodeCreditBasedReconfRsp: 0,
+		l2cap.CodeConnParamUpdateReq:   0,
+	}
+	for code, want := range counts {
+		_, info, err := mu.Mutate(1, code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.CreditFieldsMutated != want {
+			t.Errorf("%v: CreditFieldsMutated = %d, want %d", code, info.CreditFieldsMutated, want)
+		}
+	}
+
+	// The draws land in the marshalled payload: over many packets the
+	// SPSM must leave its default at least once.
+	diverged := false
+	for i := 0; i < 50 && !diverged; i++ {
+		pkt, _, err := mu.Mutate(1, l2cap.CodeLECreditConnReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames, _ := l2cap.ParseSignals(pkt.Payload)
+		cmd, _ := l2cap.DecodeCommand(frames[0])
+		def, _ := l2cap.DefaultCommand(l2cap.CodeLECreditConnReq)
+		if cmd.(*l2cap.LECreditConnReq).SPSM != def.(*l2cap.LECreditConnReq).SPSM {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("credit stream never changed the wire payload")
+	}
+}
+
+func TestMutateCreditStreamDoesNotPerturbCoreDraws(t *testing.T) {
+	// The whole point of the side stream: the same main seed yields the
+	// same core-field and garbage draws whether or not credit mutation
+	// is on. Run the same schedule — credit commands included — through
+	// a plain and a streamed mutator; every non-credit packet must stay
+	// byte-identical, and the credit packets must agree on everything
+	// the main stream decides (endpoint CIDs and the garbage tail).
+	plain, streamed := testMutator(42), testMutator(42)
+	streamed.SeedCreditStream(7)
+	codes := []l2cap.CommandCode{
+		l2cap.CodeConnectionReq, l2cap.CodeCreditBasedConnReq,
+		l2cap.CodeConfigurationReq, l2cap.CodeLECreditConnReq,
+	}
+	for i := 0; i < 200; i++ {
+		id := uint8(i%250 + 1)
+		code := codes[i%len(codes)]
+		pa, ia, _ := plain.Mutate(id, code)
+		pb, ib, _ := streamed.Mutate(id, code)
+		if ib.CreditFieldsMutated > 0 {
+			// Credit packets differ only in the side-stream values: the
+			// main-stream decisions must agree.
+			if ia.CIDsMutated != ib.CIDsMutated || ia.GarbageLen != ib.GarbageLen {
+				t.Fatalf("packet %d (%v): core draws diverged: %+v vs %+v", i, code, ia, ib)
+			}
+			continue
+		}
+		if string(pa.Marshal()) != string(pb.Marshal()) {
+			t.Fatalf("packet %d (%v): credit stream perturbed the core schedule", i, code)
+		}
+	}
+}
+
+func TestMutateCreditStreamDeterministic(t *testing.T) {
+	a, b := testMutator(11), testMutator(11)
+	a.SeedCreditStream(11)
+	b.SeedCreditStream(11)
+	for i := 0; i < 200; i++ {
+		id := uint8(i%250 + 1)
+		pa, ia, _ := a.Mutate(id, l2cap.CodeLECreditConnReq)
+		pb, ib, _ := b.Mutate(id, l2cap.CodeLECreditConnReq)
+		if string(pa.Marshal()) != string(pb.Marshal()) || ia != ib {
+			t.Fatal("same credit seed produced different packets")
+		}
+	}
+}
+
 func TestMutateUnknownCode(t *testing.T) {
 	if _, _, err := testMutator(1).Mutate(1, 0x7F); err == nil {
 		t.Fatal("Mutate(unknown code) succeeded")

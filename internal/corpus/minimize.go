@@ -1,6 +1,10 @@
 package corpus
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
 
 // DefaultMaxReplays bounds a minimization run. Every probe costs a full
 // rig build plus a replay of the candidate sequence, so the bound is a
@@ -14,6 +18,13 @@ type MinimizeConfig struct {
 	// MaxReplays caps the number of verification replays; zero means
 	// DefaultMaxReplays.
 	MaxReplays int
+	// Workers bounds the number of concurrent verification replays; zero
+	// means GOMAXPROCS. Each probe replays on its own rig, so probes
+	// within one ddmin granularity round are independent; the witness
+	// selection is by candidate order regardless of completion order, so
+	// the reduction path — and therefore the minimized trace — is
+	// identical at every worker count.
+	Workers int
 }
 
 // MinimizeResult is the outcome of delta-debugging a trace.
@@ -28,37 +39,47 @@ type MinimizeResult struct {
 	Replays int
 }
 
+// probeOutcome is one candidate's verdict.
+type probeOutcome struct {
+	ok  bool
+	err error
+}
+
 // Minimize delta-debugs an entry's trace: it searches for a minimal
 // operation subsequence that still reproduces the entry's signature on
 // a fresh rig, using the classic ddmin reduce-to-complement loop. The
 // input entry must itself reproduce — a trace that does not reproduce
 // has nothing to minimize and is reported as an error.
+//
+// The complement probes of each granularity round run concurrently over
+// a bounded worker pool (MinimizeConfig.Workers); results are judged in
+// candidate order, so the chosen witness — and the final trace — match
+// the sequential algorithm's exactly.
 func Minimize(e Entry, cfg MinimizeConfig) (*MinimizeResult, error) {
 	maxReplays := cfg.MaxReplays
 	if maxReplays <= 0 {
 		maxReplays = DefaultMaxReplays
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	res := &MinimizeResult{Entry: e, Before: len(e.Trace.Ops)}
 
-	reproduces := func(ops []Op) (bool, error) {
-		if res.Replays >= maxReplays {
-			return false, nil
-		}
-		res.Replays++
+	probe := func(ops []Op) probeOutcome {
 		candidate := e
 		candidate.Trace.Ops = ops
 		r, err := Replay(candidate, cfg.ReplayConfig)
 		if err != nil {
-			return false, err
+			return probeOutcome{err: err}
 		}
-		return r.Reproduced, nil
+		return probeOutcome{ok: r.Reproduced}
 	}
 
-	ok, err := reproduces(e.Trace.Ops)
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
+	res.Replays++
+	if out := probe(e.Trace.Ops); out.err != nil {
+		return nil, out.err
+	} else if !out.ok {
 		return nil, fmt.Errorf("corpus: trace for %v does not reproduce; nothing to minimize", e.Signature)
 	}
 
@@ -70,7 +91,7 @@ func Minimize(e Entry, cfg MinimizeConfig) (*MinimizeResult, error) {
 	n := 2
 	for len(ops) >= 2 && res.Replays < maxReplays {
 		chunk := (len(ops) + n - 1) / n
-		reduced := false
+		var candidates [][]Op
 		for start := 0; start < len(ops); start += chunk {
 			end := min(start+chunk, len(ops))
 			candidate := make([]Op, 0, len(ops)-(end-start))
@@ -79,12 +100,39 @@ func Minimize(e Entry, cfg MinimizeConfig) (*MinimizeResult, error) {
 			if len(candidate) == len(ops) {
 				continue
 			}
-			ok, err := reproduces(candidate)
-			if err != nil {
-				return nil, err
+			candidates = append(candidates, candidate)
+		}
+		// The whole round launches together, so the budget caps the
+		// round's fan-out, not individual probes mid-sweep.
+		if remaining := maxReplays - res.Replays; len(candidates) > remaining {
+			candidates = candidates[:remaining]
+		}
+
+		outcomes := make([]probeOutcome, len(candidates))
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := range candidates {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				outcomes[i] = probe(candidates[i])
+			}(i)
+		}
+		wg.Wait()
+		res.Replays += len(candidates)
+
+		// Judge in candidate order: the lowest-index success is the
+		// witness (and the first error surfaces), exactly as the
+		// sequential sweep would have chosen.
+		reduced := false
+		for i, out := range outcomes {
+			if out.err != nil {
+				return nil, out.err
 			}
-			if ok {
-				ops = candidate
+			if out.ok {
+				ops = candidates[i]
 				n = max(n-1, 2)
 				reduced = true
 				break

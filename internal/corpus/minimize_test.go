@@ -1,0 +1,66 @@
+// Minimization's parallel probe rounds are an optimisation, not a
+// semantics change: the witness is chosen by candidate order, so the
+// reduction path — and the final trace — must be identical at every
+// worker count.
+package corpus_test
+
+import (
+	"bytes"
+	"testing"
+
+	"l2fuzz/internal/corpus"
+	"l2fuzz/internal/fleet"
+)
+
+func TestMinimizeDeterministicAcrossWorkerCounts(t *testing.T) {
+	store, err := corpus.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fleet.Run(rfcommFarm(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("farm findings = %+v, want exactly one", rep.Findings)
+	}
+	entry, err := store.Get(rep.Findings[0].Signature)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var results []*corpus.MinimizeResult
+	for _, workers := range []int{1, 4} {
+		res, err := corpus.Minimize(entry, corpus.MinimizeConfig{Workers: workers})
+		if err != nil {
+			t.Fatalf("Minimize(workers=%d) error = %v", workers, err)
+		}
+		results = append(results, res)
+	}
+	serial, parallel := results[0], results[1]
+	if serial.After != parallel.After {
+		t.Fatalf("worker counts disagree on trace length: 1 worker → %d ops, 4 workers → %d ops",
+			serial.After, parallel.After)
+	}
+	if len(serial.Entry.Trace.Ops) != len(parallel.Entry.Trace.Ops) {
+		t.Fatal("minimized op slices differ in length")
+	}
+	for i := range serial.Entry.Trace.Ops {
+		a, b := serial.Entry.Trace.Ops[i], parallel.Entry.Trace.Ops[i]
+		if a.Kind != b.Kind || !bytes.Equal(a.Data, b.Data) {
+			t.Fatalf("op %d differs between worker counts: %+v vs %+v", i, a, b)
+		}
+	}
+	if serial.Replays != parallel.Replays {
+		t.Errorf("replay accounting differs across worker counts: %d vs %d",
+			serial.Replays, parallel.Replays)
+	}
+	// And the agreed-on minimized trace still reproduces.
+	again, err := corpus.Replay(parallel.Entry, corpus.ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Reproduced || again.Signature != entry.Signature {
+		t.Fatalf("minimized trace no longer reproduces: %+v", again)
+	}
+}

@@ -1,0 +1,292 @@
+package fleet
+
+import (
+	"fmt"
+
+	"l2fuzz/internal/bt/host"
+	"l2fuzz/internal/bt/l2cap"
+	"l2fuzz/internal/bt/sm"
+	"l2fuzz/internal/campaign"
+	"l2fuzz/internal/core"
+	"l2fuzz/internal/fuzzers"
+	"l2fuzz/internal/fuzzers/bfuzz"
+	"l2fuzz/internal/fuzzers/bss"
+	"l2fuzz/internal/fuzzers/defensics"
+	"l2fuzz/internal/rfcommfuzz"
+	"l2fuzz/internal/testbed"
+)
+
+// Engine is one schedulable fuzzer kind: the behaviour behind a Kind
+// value. The farm itself is engine-agnostic — rig construction, variant
+// resolution, seed derivation, corpus recording, telemetry, journaling
+// and reporting all go through this interface, so a new engine slots
+// into every farm surface by registering itself and nothing else.
+type Engine interface {
+	// Kind is the engine's matrix identity: the value jobs, reports,
+	// journals and corpus entries carry.
+	Kind() Kind
+	// ProducesFindings reports whether the engine has a detection phase.
+	// Engines without one (the paper's comparison baselines) contribute
+	// traffic and metrics but never classified findings, so corpus-backed
+	// farms skip trace recording for their jobs.
+	ProducesFindings() bool
+	// NeedsRFCOMM reports whether the engine fuzzes over RFCOMM: its
+	// rigs get the RFCOMM-capable testbed variant (serial services
+	// mounted when the spec brings none, RFCOMM port pairing-free, and —
+	// on defect-armed farms — the reserved-DLCI mux defect).
+	NeedsRFCOMM() bool
+	// TraceBudget estimates the engine's total traffic for one job from
+	// the job's unresolved packet budget, sizing the repro-trace
+	// recorder before variant hooks run. Engines whose runners raise the
+	// budget afterwards call ensureTraceLimit with the resolved figure.
+	TraceBudget(cfg Config, job Job) int
+	// Run executes the job on its private rig, folding the outcome into
+	// res. Run reports failures through res.Err, never by panicking: one
+	// failed cell must not bring the farm down.
+	Run(cfg Config, r *testbed.Rig, job Job, v Variant, res *JobResult)
+}
+
+// The engine registry. engineOrder fixes report order (the order
+// engines registered in); engineIndex resolves kinds at dispatch time.
+var (
+	engineOrder []Engine
+	engineIndex = make(map[Kind]Engine)
+)
+
+// RegisterEngine adds an engine to the registry. Registration order is
+// report order: AllKinds, the per-fuzzer report table and
+// FindingRecord.Kinds all list kinds as registered. Registering two
+// engines under one kind is a programming error and panics.
+func RegisterEngine(e Engine) {
+	k := e.Kind()
+	if _, dup := engineIndex[k]; dup {
+		panic(fmt.Sprintf("fleet: engine kind %q registered twice", k))
+	}
+	engineIndex[k] = e
+	engineOrder = append(engineOrder, e)
+}
+
+// EngineFor resolves a kind to its registered engine.
+func EngineFor(k Kind) (Engine, bool) {
+	e, ok := engineIndex[k]
+	return e, ok
+}
+
+// AllKinds returns every registered kind in report order.
+func AllKinds() []Kind {
+	kinds := make([]Kind, len(engineOrder))
+	for i, e := range engineOrder {
+		kinds[i] = e.Kind()
+	}
+	return kinds
+}
+
+// The built-in engines, in report order: the paper's four compared
+// fuzzers, the two §V extensions, and the scenario-diversity engines
+// over the SDP and state-machine surfaces. New kinds append after the
+// existing six so historical reports (which iterate AllKinds) render
+// byte-identically.
+func init() {
+	RegisterEngine(l2fuzzEngine{})
+	RegisterEngine(baselineEngine{kind: KindDefensics,
+		build: func(cl *host.Client, seed int64) fuzzers.Fuzzer { return defensics.New(cl, seed) }})
+	RegisterEngine(baselineEngine{kind: KindBFuzz,
+		build: func(cl *host.Client, seed int64) fuzzers.Fuzzer { return bfuzz.New(cl, seed) }})
+	RegisterEngine(baselineEngine{kind: KindBSS,
+		build: func(cl *host.Client, seed int64) fuzzers.Fuzzer { return bss.New(cl, seed) }})
+	RegisterEngine(rfcommEngine{})
+	RegisterEngine(campaignEngine{})
+}
+
+// l2fuzzEngine runs the paper's fuzzer: state-guided, core-field-aware
+// L2CAP signaling mutation with liveness detection.
+type l2fuzzEngine struct{}
+
+func (l2fuzzEngine) Kind() Kind                          { return KindL2Fuzz }
+func (l2fuzzEngine) ProducesFindings() bool              { return true }
+func (l2fuzzEngine) NeedsRFCOMM() bool                   { return false }
+func (l2fuzzEngine) TraceBudget(cfg Config, job Job) int { return job.MaxPackets }
+
+func (l2fuzzEngine) Run(cfg Config, r *testbed.Rig, job Job, v Variant, res *JobResult) {
+	fcfg := core.DefaultConfig(job.Seed)
+	fcfg.MaxPackets = job.MaxPackets
+	if v.Core != nil {
+		v.Core(&fcfg)
+	}
+	// Telemetry wires after the variant hook so a variant cannot
+	// accidentally detach the farm's counters.
+	fcfg.Counters = cfg.Counters
+	budget := fcfg.MaxPackets
+	if budget <= 0 {
+		// Mirror the runner's zero-means-default normalization, or a
+		// hook zeroing the cap would shrink the trace limit while the
+		// run grows to the library default.
+		budget = core.DefaultMaxPackets
+	}
+	ensureTraceLimit(r, budget)
+	report, err := core.New(r.Client, fcfg).Run(r.Device.Address())
+	if err != nil {
+		res.Err = err
+		return
+	}
+	res.PacketsSent = report.PacketsSent
+	res.Elapsed = report.Elapsed
+	if report.Found {
+		res.Findings = []Occurrence{{Finding: report.Finding, Count: 1, Dump: crashDump(r.Device)}}
+	}
+}
+
+// baselineEngine runs one of the comparison fuzzers. Baselines have no
+// detection phase — the paper's evaluation found none of the zero-days
+// with them — so they contribute traffic, metrics and (at most) a
+// crashed-device flag, never classified findings. They expose no
+// configuration knobs either, so a variant only distinguishes their
+// jobs through its seed salt.
+type baselineEngine struct {
+	kind  Kind
+	build func(cl *host.Client, seed int64) fuzzers.Fuzzer
+}
+
+func (e baselineEngine) Kind() Kind                        { return e.kind }
+func (baselineEngine) ProducesFindings() bool              { return false }
+func (baselineEngine) NeedsRFCOMM() bool                   { return false }
+func (baselineEngine) TraceBudget(cfg Config, job Job) int { return job.MaxPackets }
+
+func (e baselineEngine) Run(cfg Config, r *testbed.Rig, job Job, v Variant, res *JobResult) {
+	result, err := e.build(r.Client, job.Seed).Run(r.Device.Address(), job.MaxPackets)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	res.PacketsSent = result.PacketsSent
+	res.Elapsed = result.Elapsed
+}
+
+// rfcommEngine runs the §V RFCOMM extension fuzzer. A mux death maps
+// into the shared signature space as an Open-state finding on the
+// RFCOMM port: Connection Aborted when L2CAP survived the mux (the
+// paper's layer-isolation observation), Connection Reset when the whole
+// stack went with it.
+type rfcommEngine struct{}
+
+func (rfcommEngine) Kind() Kind                          { return KindRFCOMM }
+func (rfcommEngine) ProducesFindings() bool              { return true }
+func (rfcommEngine) NeedsRFCOMM() bool                   { return true }
+func (rfcommEngine) TraceBudget(cfg Config, job Job) int { return job.MaxPackets }
+
+func (rfcommEngine) Run(cfg Config, r *testbed.Rig, job Job, v Variant, res *JobResult) {
+	fcfg := rfcommfuzz.DefaultConfig(job.Seed)
+	fcfg.MaxFrames = job.MaxPackets
+	if v.RFCOMM != nil {
+		v.RFCOMM(&fcfg)
+	}
+	budget := fcfg.MaxFrames
+	if budget <= 0 {
+		// Mirror the runner's zero-means-default normalization.
+		budget = rfcommfuzz.DefaultConfig(job.Seed).MaxFrames
+	}
+	ensureTraceLimit(r, budget)
+	report, err := rfcommfuzz.New(r.Client, fcfg).Run(r.Device.Address())
+	if err != nil {
+		res.Err = err
+		return
+	}
+	res.PacketsSent = report.FramesSent
+	res.Elapsed = report.Elapsed
+	if report.Found {
+		class := core.ErrConnectionReset
+		if report.L2CAPAlive {
+			class = core.ErrConnectionAborted
+		}
+		res.Findings = []Occurrence{{
+			Finding: core.Finding{
+				Time:           report.Elapsed,
+				Error:          class,
+				State:          sm.StateOpen,
+				PSM:            l2cap.PSMRFCOMM,
+				Trace:          report.Trace,
+				TraceTruncated: report.TraceTruncated,
+			},
+			Count: 1,
+			Dump:  crashDump(r.Device),
+		}}
+	}
+}
+
+// campaignEngine runs the §V long-term campaign extension: repeated
+// fuzzing runs with automatic device resets and cross-run finding
+// de-duplication.
+type campaignEngine struct{}
+
+func (campaignEngine) Kind() Kind             { return KindCampaign }
+func (campaignEngine) ProducesFindings() bool { return true }
+func (campaignEngine) NeedsRFCOMM() bool      { return false }
+
+// TraceBudget covers every campaign run: the recorder must hold the
+// worst case of a whole job's traffic landing in one trace epoch.
+func (campaignEngine) TraceBudget(cfg Config, job Job) int {
+	return job.MaxPackets * cfg.CampaignRuns
+}
+
+func (campaignEngine) Run(cfg Config, r *testbed.Rig, job Job, v Variant, res *JobResult) {
+	ccfg := campaign.DefaultConfig(job.Seed)
+	ccfg.MaxRuns = cfg.CampaignRuns
+	ccfg.MaxPacketsPerRun = job.MaxPackets
+	if v.Campaign != nil {
+		v.Campaign(&ccfg)
+	}
+	if v.Core != nil {
+		// Chain behind any hook the Campaign override installed, so both
+		// see each run's config.
+		prev := ccfg.MutateFuzz
+		ccfg.MutateFuzz = func(fc *core.Config) {
+			if prev != nil {
+				prev(fc)
+			}
+			v.Core(fc)
+		}
+	}
+	if cfg.Counters != nil {
+		// Chain last so every per-run core config carries the farm's
+		// counters, whatever the variant hooks rewrote.
+		prev := ccfg.MutateFuzz
+		ctr := cfg.Counters
+		ccfg.MutateFuzz = func(fc *core.Config) {
+			if prev != nil {
+				prev(fc)
+			}
+			fc.Counters = ctr
+		}
+	}
+	// Resolve the traffic budget the way the campaign runner will —
+	// zero-valued knobs fall back to campaign defaults, then the chained
+	// per-run hook applies — so the trace recorder is sized for the
+	// worst case of a whole run landing in one trace epoch.
+	resolved := ccfg
+	def := campaign.DefaultConfig(ccfg.Seed)
+	if resolved.MaxRuns <= 0 {
+		resolved.MaxRuns = def.MaxRuns
+	}
+	if resolved.MaxPacketsPerRun <= 0 {
+		resolved.MaxPacketsPerRun = def.MaxPacketsPerRun
+	}
+	perRun := core.DefaultConfig(job.Seed)
+	perRun.MaxPackets = resolved.MaxPacketsPerRun
+	if ccfg.MutateFuzz != nil {
+		ccfg.MutateFuzz(&perRun)
+	}
+	if perRun.MaxPackets <= 0 {
+		perRun.MaxPackets = core.DefaultMaxPackets
+	}
+	ensureTraceLimit(r, resolved.MaxRuns*perRun.MaxPackets)
+	report, err := campaign.New(r.Client, r.Device, ccfg).Run()
+	if err != nil {
+		res.Err = err
+		return
+	}
+	res.PacketsSent = report.TotalPackets
+	res.Elapsed = report.TotalElapsed
+	for _, f := range report.Findings {
+		res.Findings = append(res.Findings, Occurrence{Finding: f.Finding, Count: f.Count, Dump: f.Dump})
+	}
+}

@@ -11,11 +11,14 @@ import (
 	"l2fuzz/internal/telemetry"
 )
 
-// Kind selects the fuzzer a job runs.
+// Kind selects the fuzzer a job runs. Each kind names a registered
+// Engine; the registry in engine.go is the single source of truth for
+// which kinds exist and how they execute.
 type Kind string
 
-// The six job kinds a farm can schedule: the paper's four compared
-// fuzzers plus the two §V extensions.
+// The job kinds a farm can schedule: the paper's four compared fuzzers,
+// the two §V extensions, and the scenario-diversity engines over the
+// SDP and L2CAP state-machine surfaces.
 const (
 	KindL2Fuzz    Kind = "L2Fuzz"
 	KindDefensics Kind = "Defensics"
@@ -23,22 +26,9 @@ const (
 	KindBSS       Kind = "BSS"
 	KindRFCOMM    Kind = "RFCOMM"
 	KindCampaign  Kind = "Campaign"
+	KindSDP       Kind = "SDP"
+	KindSM        Kind = "SM"
 )
-
-// AllKinds returns every schedulable kind in report order.
-func AllKinds() []Kind {
-	return []Kind{KindL2Fuzz, KindDefensics, KindBFuzz, KindBSS, KindRFCOMM, KindCampaign}
-}
-
-// valid reports whether k names a known kind.
-func (k Kind) valid() bool {
-	for _, known := range AllKinds() {
-		if k == known {
-			return true
-		}
-	}
-	return false
-}
 
 // Defaults for unset Config fields.
 const (
@@ -183,7 +173,7 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	seenKind := make(map[Kind]bool)
 	for _, k := range c.Kinds {
-		if !k.valid() {
+		if _, ok := EngineFor(k); !ok {
 			return c, fmt.Errorf("fleet: unknown fuzzer kind %q", k)
 		}
 		if seenKind[k] {

@@ -4,15 +4,6 @@ import (
 	"fmt"
 
 	"l2fuzz/internal/bt/device"
-	"l2fuzz/internal/bt/l2cap"
-	"l2fuzz/internal/bt/sm"
-	"l2fuzz/internal/campaign"
-	"l2fuzz/internal/core"
-	"l2fuzz/internal/fuzzers"
-	"l2fuzz/internal/fuzzers/bfuzz"
-	"l2fuzz/internal/fuzzers/bss"
-	"l2fuzz/internal/fuzzers/defensics"
-	"l2fuzz/internal/rfcommfuzz"
 	"l2fuzz/internal/telemetry"
 	"l2fuzz/internal/testbed"
 )
@@ -20,49 +11,32 @@ import (
 // newRig builds one job's private testbed through the shared builder:
 // a fresh medium, target device, tester client and sniffer, so jobs
 // share no mutable state. The job carries its resolved target spec —
-// catalog or custom — and KindRFCOMM jobs get the RFCOMM-capable rig
-// variant (serial services mounted when the spec brings none, RFCOMM
-// port pairing-free, and — on defect-armed farms against specs expected
-// vulnerable — the reserved-DLCI mux defect).
-func newRig(cfg Config, job Job) (*testbed.Rig, error) {
+// catalog or custom — and the engine's capability flags pick the rig
+// variant (RFCOMM-capable rigs for engines that fuzz over RFCOMM) and
+// decide whether the job records a repro trace.
+func newRig(cfg Config, eng Engine, job Job) (*testbed.Rig, error) {
 	if job.Spec == nil {
 		return nil, fmt.Errorf("job %v carries no resolved target spec", job)
 	}
 	opts := testbed.Options{
 		DisableVulns: cfg.MeasurementGrade,
-		RFCOMM:       job.Kind == KindRFCOMM,
+		RFCOMM:       eng.NeedsRFCOMM(),
 		TesterName:   "farm-worker",
 		Counters:     cfg.Counters,
 	}
-	if cfg.Corpus != nil && job.Kind.producesFindings() {
+	if cfg.Corpus != nil && eng.ProducesFindings() {
 		// Corpus-backed farms record the repro traces of every job
 		// that can contribute findings (the baseline kinds never do,
 		// so recording them would only hold wire buffers for nothing).
 		// This limit is an estimate from the job's unresolved budget;
-		// each runner raises it (ensureTraceLimit) once its variant
+		// each engine raises it (ensureTraceLimit) once its variant
 		// hooks have resolved the real traffic cap. A trace that still
 		// outgrows it is marked truncated and skipped at store time
 		// rather than persisted unreplayable.
-		budget := job.MaxPackets
-		if job.Kind == KindCampaign {
-			budget *= cfg.CampaignRuns
-		}
 		opts.Record = true
-		opts.RecordLimit = traceLimit(budget)
+		opts.RecordLimit = traceLimit(eng.TraceBudget(cfg, job))
 	}
 	return testbed.New(*job.Spec, opts)
-}
-
-// producesFindings reports whether a kind has a detection phase. The
-// comparison baselines do not — the paper's evaluation found none of
-// the zero-days with them — so their jobs never contribute corpus
-// entries.
-func (k Kind) producesFindings() bool {
-	switch k {
-	case KindDefensics, KindBFuzz, KindBSS:
-		return false
-	}
-	return true
 }
 
 // traceLimit sizes a recorder for a traffic budget: every packet is one
@@ -70,7 +44,7 @@ func (k Kind) producesFindings() bool {
 // absorbs scan and setup traffic.
 func traceLimit(budget int) int { return 2*budget + 4096 }
 
-// ensureTraceLimit raises the rig recorder's cap once a runner knows
+// ensureTraceLimit raises the rig recorder's cap once an engine knows
 // its resolved traffic budget — variant hooks may have lifted it past
 // the pre-resolution estimate newRig recorded with.
 func ensureTraceLimit(r *testbed.Rig, budget int) {
@@ -80,10 +54,10 @@ func ensureTraceLimit(r *testbed.Rig, budget int) {
 }
 
 // runJob executes one job on a fresh rig and folds the outcome into a
-// JobResult. The job's variant overrides are applied after each runner
-// resolves its defaults, so a variant may adjust any knob. Job errors
-// are recorded, not returned: one failed cell must not bring the farm
-// down.
+// JobResult. The job's kind resolves to its registered engine; the
+// job's variant overrides are applied after the engine resolves its
+// defaults, so a variant may adjust any knob. Job errors are recorded,
+// not returned: one failed cell must not bring the farm down.
 func runJob(cfg Config, job Job) JobResult {
 	if cfg.Counters != nil {
 		// The job counts into a private Counters whose cache lines stay
@@ -98,191 +72,21 @@ func runJob(cfg Config, job Job) JobResult {
 		defer func() { farm.Merge(local.Snapshot()) }()
 	}
 	res := JobResult{Job: job}
-	r, err := newRig(cfg, job)
+	eng, ok := EngineFor(job.Kind)
+	if !ok {
+		res.Err = fmt.Errorf("unknown kind %q", job.Kind)
+		return res
+	}
+	r, err := newRig(cfg, eng, job)
 	if err != nil {
 		res.Err = fmt.Errorf("rig: %w", err)
 		return res
 	}
-	v := cfg.variant(job.Variant)
-	switch job.Kind {
-	case KindL2Fuzz:
-		runL2Fuzz(cfg, r, job, v, &res)
-	case KindDefensics, KindBFuzz, KindBSS:
-		runBaseline(r, job, &res)
-	case KindRFCOMM:
-		runRFCOMM(r, job, v, &res)
-	case KindCampaign:
-		runCampaign(cfg, r, job, v, &res)
-	default:
-		res.Err = fmt.Errorf("unknown kind %q", job.Kind)
-		return res
-	}
+	eng.Run(cfg, r, job, cfg.variant(job.Variant), &res)
 	res.Crashed = r.Device.Crashed()
 	res.Summary = r.Sniffer.Summary()
 	r.FlushTelemetry()
 	return res
-}
-
-func runL2Fuzz(cfg Config, r *testbed.Rig, job Job, v Variant, res *JobResult) {
-	fcfg := core.DefaultConfig(job.Seed)
-	fcfg.MaxPackets = job.MaxPackets
-	if v.Core != nil {
-		v.Core(&fcfg)
-	}
-	// Telemetry wires after the variant hook so a variant cannot
-	// accidentally detach the farm's counters.
-	fcfg.Counters = cfg.Counters
-	budget := fcfg.MaxPackets
-	if budget <= 0 {
-		// Mirror the runner's zero-means-default normalization, or a
-		// hook zeroing the cap would shrink the trace limit while the
-		// run grows to the library default.
-		budget = core.DefaultMaxPackets
-	}
-	ensureTraceLimit(r, budget)
-	report, err := core.New(r.Client, fcfg).Run(r.Device.Address())
-	if err != nil {
-		res.Err = err
-		return
-	}
-	res.PacketsSent = report.PacketsSent
-	res.Elapsed = report.Elapsed
-	if report.Found {
-		res.Findings = []Occurrence{{Finding: report.Finding, Count: 1, Dump: crashDump(r.Device)}}
-	}
-}
-
-// runBaseline runs one of the comparison fuzzers. Baselines have no
-// detection phase — the paper's evaluation found none of the zero-days
-// with them — so they contribute traffic, metrics and (at most) a
-// crashed-device flag, never classified findings. They expose no
-// configuration knobs either, so a variant only distinguishes their
-// jobs through its seed salt.
-func runBaseline(r *testbed.Rig, job Job, res *JobResult) {
-	var fz fuzzers.Fuzzer
-	switch job.Kind {
-	case KindDefensics:
-		fz = defensics.New(r.Client, job.Seed)
-	case KindBFuzz:
-		fz = bfuzz.New(r.Client, job.Seed)
-	default:
-		fz = bss.New(r.Client, job.Seed)
-	}
-	result, err := fz.Run(r.Device.Address(), job.MaxPackets)
-	if err != nil {
-		res.Err = err
-		return
-	}
-	res.PacketsSent = result.PacketsSent
-	res.Elapsed = result.Elapsed
-}
-
-// runRFCOMM runs the §V RFCOMM extension fuzzer. A mux death maps into
-// the shared signature space as an Open-state finding on the RFCOMM
-// port: Connection Aborted when L2CAP survived the mux (the paper's
-// layer-isolation observation), Connection Reset when the whole stack
-// went with it.
-func runRFCOMM(r *testbed.Rig, job Job, v Variant, res *JobResult) {
-	fcfg := rfcommfuzz.DefaultConfig(job.Seed)
-	fcfg.MaxFrames = job.MaxPackets
-	if v.RFCOMM != nil {
-		v.RFCOMM(&fcfg)
-	}
-	budget := fcfg.MaxFrames
-	if budget <= 0 {
-		// Mirror the runner's zero-means-default normalization.
-		budget = rfcommfuzz.DefaultConfig(job.Seed).MaxFrames
-	}
-	ensureTraceLimit(r, budget)
-	report, err := rfcommfuzz.New(r.Client, fcfg).Run(r.Device.Address())
-	if err != nil {
-		res.Err = err
-		return
-	}
-	res.PacketsSent = report.FramesSent
-	res.Elapsed = report.Elapsed
-	if report.Found {
-		class := core.ErrConnectionReset
-		if report.L2CAPAlive {
-			class = core.ErrConnectionAborted
-		}
-		res.Findings = []Occurrence{{
-			Finding: core.Finding{
-				Time:           report.Elapsed,
-				Error:          class,
-				State:          sm.StateOpen,
-				PSM:            l2cap.PSMRFCOMM,
-				Trace:          report.Trace,
-				TraceTruncated: report.TraceTruncated,
-			},
-			Count: 1,
-			Dump:  crashDump(r.Device),
-		}}
-	}
-}
-
-func runCampaign(cfg Config, r *testbed.Rig, job Job, v Variant, res *JobResult) {
-	ccfg := campaign.DefaultConfig(job.Seed)
-	ccfg.MaxRuns = cfg.CampaignRuns
-	ccfg.MaxPacketsPerRun = job.MaxPackets
-	if v.Campaign != nil {
-		v.Campaign(&ccfg)
-	}
-	if v.Core != nil {
-		// Chain behind any hook the Campaign override installed, so both
-		// see each run's config.
-		prev := ccfg.MutateFuzz
-		ccfg.MutateFuzz = func(fc *core.Config) {
-			if prev != nil {
-				prev(fc)
-			}
-			v.Core(fc)
-		}
-	}
-	if cfg.Counters != nil {
-		// Chain last so every per-run core config carries the farm's
-		// counters, whatever the variant hooks rewrote.
-		prev := ccfg.MutateFuzz
-		ctr := cfg.Counters
-		ccfg.MutateFuzz = func(fc *core.Config) {
-			if prev != nil {
-				prev(fc)
-			}
-			fc.Counters = ctr
-		}
-	}
-	// Resolve the traffic budget the way the campaign runner will —
-	// zero-valued knobs fall back to campaign defaults, then the chained
-	// per-run hook applies — so the trace recorder is sized for the
-	// worst case of every run landing in one trace epoch (dry runs do
-	// not reset the epoch).
-	resolved := ccfg
-	def := campaign.DefaultConfig(ccfg.Seed)
-	if resolved.MaxRuns <= 0 {
-		resolved.MaxRuns = def.MaxRuns
-	}
-	if resolved.MaxPacketsPerRun <= 0 {
-		resolved.MaxPacketsPerRun = def.MaxPacketsPerRun
-	}
-	perRun := core.DefaultConfig(job.Seed)
-	perRun.MaxPackets = resolved.MaxPacketsPerRun
-	if ccfg.MutateFuzz != nil {
-		ccfg.MutateFuzz(&perRun)
-	}
-	if perRun.MaxPackets <= 0 {
-		perRun.MaxPackets = core.DefaultMaxPackets
-	}
-	ensureTraceLimit(r, resolved.MaxRuns*perRun.MaxPackets)
-	report, err := campaign.New(r.Client, r.Device, ccfg).Run()
-	if err != nil {
-		res.Err = err
-		return
-	}
-	res.PacketsSent = report.TotalPackets
-	res.Elapsed = report.TotalElapsed
-	for _, f := range report.Findings {
-		res.Findings = append(res.Findings, Occurrence{Finding: f.Finding, Count: f.Count, Dump: f.Dump})
-	}
 }
 
 // crashDump renders the device's crash artefact, or "" when none.

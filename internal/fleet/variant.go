@@ -7,6 +7,8 @@ import (
 	"l2fuzz/internal/campaign"
 	"l2fuzz/internal/core"
 	"l2fuzz/internal/rfcommfuzz"
+	"l2fuzz/internal/sdpfuzz"
+	"l2fuzz/internal/smfuzz"
 )
 
 // Names of the predefined variants: the paper's §IV-D ablation grid.
@@ -48,6 +50,10 @@ type Variant struct {
 	// KindCampaign jobs (run counts, dry-run cutoffs; per-run fuzzer
 	// knobs belong in Core).
 	Campaign func(*campaign.Config)
+	// SDP, when set, mutates the resolved sdpfuzz.Config of KindSDP jobs.
+	SDP func(*sdpfuzz.Config)
+	// SM, when set, mutates the resolved smfuzz.Config of KindSM jobs.
+	SM func(*smfuzz.Config)
 }
 
 // BaselineVariant returns the un-ablated reference variant.

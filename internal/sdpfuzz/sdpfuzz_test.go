@@ -1,0 +1,112 @@
+package sdpfuzz
+
+import (
+	"testing"
+
+	"l2fuzz/internal/bt/device"
+	"l2fuzz/internal/bt/host"
+	"l2fuzz/internal/bt/radio"
+	"l2fuzz/internal/bt/sdp"
+)
+
+// targetConfig builds a device whose SDP server carries the given
+// defect; the implicit SDP port is enough surface.
+func targetConfig(defect sdp.ServerDefect) device.Config {
+	return device.Config{
+		Addr:      radio.MustBDAddr("8C:F5:A3:00:00:51"),
+		Name:      "sim-speaker",
+		Profile:   device.BlueDroidProfile("5.0", "vendor/speaker:5.0/fp"),
+		SDPDefect: defect,
+	}
+}
+
+func rig(t *testing.T, cfg device.Config) (*device.Device, *host.Client) {
+	t.Helper()
+	m := radio.NewMedium(nil, radio.DefaultTiming())
+	d, err := device.New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := host.NewClient(m, radio.MustBDAddr("00:1B:DC:00:00:04"), "tester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, cl
+}
+
+func TestFindsOverreadDefect(t *testing.T) {
+	d, cl := rig(t, targetConfig(sdp.OverreadDefect()))
+	f := New(cl, DefaultConfig(1))
+	report, err := f.Run(d.Address())
+	if err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	if !report.Found {
+		t.Fatalf("defect not found in %d PDUs", report.PDUsSent)
+	}
+	if !d.Crashed() {
+		t.Error("device not actually crashed")
+	}
+	dump := d.CrashDump()
+	if dump == nil || dump.VulnID != "sdp-declared-length-overread" {
+		t.Errorf("dump = %+v, want the SDP overread record", dump)
+	}
+	t.Logf("found after %d PDUs in %v: %s", report.PDUsSent, report.Elapsed, report.LastPDU)
+}
+
+func TestRobustServerSurvives(t *testing.T) {
+	d, cl := rig(t, targetConfig(nil))
+	cfg := DefaultConfig(2)
+	cfg.MaxPDUs = 3_000
+	f := New(cl, cfg)
+	report, err := f.Run(d.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Found {
+		t.Fatalf("found a defect on the robust server: %+v", report)
+	}
+	if d.Crashed() {
+		t.Error("robust device crashed")
+	}
+	if report.PDUsSent < cfg.MaxPDUs {
+		t.Errorf("PDUsSent = %d, want the full %d budget", report.PDUsSent, cfg.MaxPDUs)
+	}
+}
+
+// TestSeedDeterminism pins the engine's reproducibility contract: the
+// same seed against identical fresh rigs replays the identical run.
+func TestSeedDeterminism(t *testing.T) {
+	run := func() *Report {
+		d, cl := rig(t, targetConfig(sdp.OverreadDefect()))
+		f := New(cl, DefaultConfig(7))
+		report, err := f.Run(d.Address())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report
+	}
+	a, b := run(), run()
+	if a.Found != b.Found || a.PDUsSent != b.PDUsSent ||
+		a.Elapsed != b.Elapsed || a.LastPDU != b.LastPDU {
+		t.Errorf("runs diverged:\n a = %+v\n b = %+v", a, b)
+	}
+}
+
+// TestDifferentSeedsDiverge guards against the seed being ignored.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	run := func(seed int64) *Report {
+		d, cl := rig(t, targetConfig(sdp.OverreadDefect()))
+		f := New(cl, DefaultConfig(seed))
+		report, err := f.Run(d.Address())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report
+	}
+	a, b := run(3), run(4)
+	if a.PDUsSent == b.PDUsSent && a.LastPDU == b.LastPDU {
+		t.Errorf("seeds 3 and 4 produced identical runs (%d PDUs, %q)",
+			a.PDUsSent, a.LastPDU)
+	}
+}

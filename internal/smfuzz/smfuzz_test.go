@@ -1,0 +1,137 @@
+package smfuzz
+
+import (
+	"testing"
+
+	"l2fuzz/internal/bt/device"
+	"l2fuzz/internal/bt/host"
+	"l2fuzz/internal/bt/radio"
+	"l2fuzz/internal/bt/sm"
+)
+
+// targetConfig builds a BlueDroid-profile device with a data port for
+// the walk to open channels against.
+func targetConfig(vulns ...device.VulnSpec) device.Config {
+	return device.Config{
+		Addr:    radio.MustBDAddr("8C:F5:A3:00:00:61"),
+		Name:    "sim-tablet",
+		Profile: device.BlueDroidProfile("5.0", "vendor/tablet:5.0/fp", vulns...),
+		Ports: []device.ServicePort{
+			{PSM: 0x1001, Name: "OBEX Object Push"},
+		},
+	}
+}
+
+func rig(t *testing.T, cfg device.Config) (*device.Device, *host.Client) {
+	t.Helper()
+	m := radio.NewMedium(nil, radio.DefaultTiming())
+	d, err := device.New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := host.NewClient(m, radio.MustBDAddr("00:1B:DC:00:00:05"), "tester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, cl
+}
+
+func TestFindsCCBNullDeref(t *testing.T) {
+	d, cl := rig(t, targetConfig(device.BlueDroidCCBNullDeref(0x40, 1, true)))
+	f := New(cl, DefaultConfig(1))
+	report, err := f.Run(d.Address())
+	if err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	if !report.Found {
+		t.Fatalf("defect not found in %d packets", report.PacketsSent)
+	}
+	if !d.Crashed() {
+		t.Error("device not actually crashed")
+	}
+	dump := d.CrashDump()
+	if dump == nil || dump.VulnID != "bluedroid-ccb-null-deref" {
+		t.Errorf("dump = %+v, want the CCB null-deref record", dump)
+	}
+	t.Logf("found after %d packets in %v at %v: %s",
+		report.PacketsSent, report.Elapsed, report.FinalState, report.LastCommand)
+}
+
+func TestRobustStackSurvives(t *testing.T) {
+	d, cl := rig(t, targetConfig())
+	cfg := DefaultConfig(2)
+	cfg.MaxPackets = 3_000
+	f := New(cl, cfg)
+	report, err := f.Run(d.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Found {
+		t.Fatalf("found a defect on the robust stack: %+v", report)
+	}
+	if d.Crashed() {
+		t.Error("robust device crashed")
+	}
+}
+
+// TestWalkCoversConfigurationJob asserts the model-guided walk actually
+// leaves CLOSED: the whole point of driving the transition table is
+// reaching the configuration-job states where the stateful defects live.
+func TestWalkCoversConfigurationJob(t *testing.T) {
+	d, cl := rig(t, targetConfig())
+	cfg := DefaultConfig(3)
+	cfg.MaxPackets = 3_000
+	f := New(cl, cfg)
+	report, err := f.Run(d.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawConfig bool
+	for _, s := range report.StatesVisited {
+		if sm.JobOf(s) == sm.JobConfiguration {
+			sawConfig = true
+		}
+	}
+	if !sawConfig {
+		t.Errorf("walk never reached a configuration-job state; visited %v",
+			report.StatesVisited)
+	}
+}
+
+// TestSeedDeterminism pins the engine's reproducibility contract: the
+// same seed against identical fresh rigs replays the identical run.
+func TestSeedDeterminism(t *testing.T) {
+	run := func() *Report {
+		d, cl := rig(t, targetConfig(device.BlueDroidCCBNullDeref(0x40, 1, true)))
+		f := New(cl, DefaultConfig(7))
+		report, err := f.Run(d.Address())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report
+	}
+	a, b := run(), run()
+	if a.Found != b.Found || a.PacketsSent != b.PacketsSent ||
+		a.Elapsed != b.Elapsed || a.FinalState != b.FinalState ||
+		a.LastCommand != b.LastCommand {
+		t.Errorf("runs diverged:\n a = %+v\n b = %+v", a, b)
+	}
+}
+
+// TestDifferentSeedsDiverge guards against the seed being ignored.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	run := func(seed int64) *Report {
+		d, cl := rig(t, targetConfig(device.BlueDroidCCBNullDeref(0x40, 1, true)))
+		f := New(cl, DefaultConfig(seed))
+		report, err := f.Run(d.Address())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report
+	}
+	a, b := run(3), run(4)
+	if a.PacketsSent == b.PacketsSent && a.LastCommand == b.LastCommand {
+		t.Errorf("seeds 3 and 4 produced identical runs (%d packets, %q)",
+			a.PacketsSent, a.LastCommand)
+	}
+}

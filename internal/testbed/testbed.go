@@ -18,6 +18,7 @@ import (
 	"l2fuzz/internal/bt/l2cap"
 	"l2fuzz/internal/bt/radio"
 	"l2fuzz/internal/bt/rfcomm"
+	"l2fuzz/internal/bt/sdp"
 	"l2fuzz/internal/metrics"
 	"l2fuzz/internal/telemetry"
 )
@@ -105,6 +106,15 @@ func New(spec device.Spec, opts Options) (*Rig, error) {
 		if spec.ExpectVuln && !dcfg.DisableVulns && dcfg.RFCOMMDefect == nil {
 			dcfg.RFCOMMDefect = rfcomm.ReservedDLCIDefect()
 		}
+	}
+	// Specs expected to be vulnerable also carry an SDP parser defect.
+	// Unlike the RFCOMM defect there is no opt-in rig variant: the
+	// defect only fires on PDUs whose declared parameter length overruns
+	// the payload, which valid service discovery (every fuzzer's scan
+	// phase) never produces — and corpus replays of SDP findings need
+	// the same arming without engine-specific options.
+	if spec.ExpectVuln && !dcfg.DisableVulns && dcfg.SDPDefect == nil {
+		dcfg.SDPDefect = sdp.OverreadDefect()
 	}
 	name := opts.TesterName
 	if name == "" {

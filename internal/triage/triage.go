@@ -64,6 +64,8 @@ const (
 	LayerRFCOMM
 	// LayerFirmware is below the host stack entirely.
 	LayerFirmware
+	// LayerSDP is the SDP service-record server.
+	LayerSDP
 )
 
 func (l Layer) String() string {
@@ -74,6 +76,8 @@ func (l Layer) String() string {
 		return "RFCOMM"
 	case LayerFirmware:
 		return "firmware"
+	case LayerSDP:
+		return "SDP"
 	default:
 		return "unknown"
 	}
@@ -135,6 +139,8 @@ func Analyze(finding core.Finding, dump *device.CrashDump) Report {
 		r.Layer = LayerL2CAP
 	case strings.Contains(dump.FaultFunc, "rfc_"), strings.Contains(dump.FaultFunc, "RFCOMM"):
 		r.Layer = LayerRFCOMM
+	case strings.Contains(dump.FaultFunc, "sdp_"), strings.Contains(dump.FaultFunc, "SDP"):
+		r.Layer = LayerSDP
 	default:
 		r.Layer = LayerUnknown
 	}

@@ -115,6 +115,8 @@ import (
 	"l2fuzz/internal/fuzzers/defensics"
 	"l2fuzz/internal/metrics"
 	"l2fuzz/internal/rfcommfuzz"
+	"l2fuzz/internal/sdpfuzz"
+	"l2fuzz/internal/smfuzz"
 	"l2fuzz/internal/telemetry"
 	"l2fuzz/internal/triage"
 )
@@ -154,6 +156,10 @@ type (
 	RFCOMMService = rfcomm.Service
 	// RFCOMMReport is the outcome of the §V extension fuzzer.
 	RFCOMMReport = rfcommfuzz.Report
+	// SDPFuzzReport is the outcome of the SDP malformation engine.
+	SDPFuzzReport = sdpfuzz.Report
+	// SMFuzzReport is the outcome of the state-machine walk engine.
+	SMFuzzReport = smfuzz.Report
 	// CampaignConfig parameterises long-term fuzzing with automatic
 	// device resets.
 	CampaignConfig = campaign.Config
@@ -266,8 +272,9 @@ const (
 	FleetNewFinding = fleet.EventNewFinding
 )
 
-// The schedulable farm job kinds: the paper's four compared fuzzers
-// plus the two §V extensions.
+// The schedulable farm job kinds: the paper's four compared fuzzers,
+// the two §V extensions, and the scenario-diversity engines over the
+// SDP and L2CAP state-machine surfaces.
 const (
 	FleetL2Fuzz    = fleet.KindL2Fuzz
 	FleetDefensics = fleet.KindDefensics
@@ -275,6 +282,8 @@ const (
 	FleetBSS       = fleet.KindBSS
 	FleetRFCOMM    = fleet.KindRFCOMM
 	FleetCampaign  = fleet.KindCampaign
+	FleetSDP       = fleet.KindSDP
+	FleetSM        = fleet.KindSM
 )
 
 // FleetKinds returns every schedulable farm job kind in report order.
@@ -718,6 +727,36 @@ func (s *Simulation) RunRFCOMMFuzz(name string, seed int64, maxFrames int) (*RFC
 		cfg.MaxFrames = maxFrames
 	}
 	return rfcommfuzz.New(s.client, cfg).Run(d.Address())
+}
+
+// RunSDPFuzz runs the SDP scenario-diversity engine — DataElement/PDU
+// malformation against the named device's service records — until the
+// SDP server dies or the PDU budget is exhausted.
+func (s *Simulation) RunSDPFuzz(name string, seed int64, maxPDUs int) (*SDPFuzzReport, error) {
+	d, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sdpfuzz.DefaultConfig(seed)
+	if maxPDUs > 0 {
+		cfg.MaxPDUs = maxPDUs
+	}
+	return sdpfuzz.New(s.client, cfg).Run(d.Address())
+}
+
+// RunSMFuzz runs the state-machine scenario-diversity engine — a
+// model-guided walk over the L2CAP channel transition table — against
+// the named device.
+func (s *Simulation) RunSMFuzz(name string, seed int64, maxPackets int) (*SMFuzzReport, error) {
+	d, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := smfuzz.DefaultConfig(seed)
+	if maxPackets > 0 {
+		cfg.MaxPackets = maxPackets
+	}
+	return smfuzz.New(s.client, cfg).Run(d.Address())
 }
 
 // RunCampaign performs long-term fuzzing against the named device: the
