@@ -6,6 +6,7 @@
 package l2fuzz_test
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"testing"
@@ -14,6 +15,19 @@ import (
 	"l2fuzz"
 	"l2fuzz/internal/harness"
 )
+
+// TestMain re-execs this test binary as a farm worker subprocess when
+// the proc-executor bench rows spawn it (see fleetBenchRun).
+func TestMain(m *testing.M) {
+	if os.Getenv("L2FUZZ_FLEET_WORKER") == "1" {
+		if err := l2fuzz.RunFleetWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 // BenchmarkTableV_DeviceCatalog regenerates the testbed inventory
 // (paper Table V).
@@ -213,7 +227,7 @@ func BenchmarkFleet(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				start := time.Now()
-				report, err := fleetBenchRun(bc.workers, bc.telemetry)
+				report, err := fleetBenchRun(bc.workers, bc.telemetry, bc.proc)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -229,24 +243,30 @@ func BenchmarkFleet(b *testing.B) {
 }
 
 // fleetBenchCases is the recorded fleet trajectory: the three worker
-// counts plus a telemetry-on point, whose overhead against the plain
-// workers=4 point is the budget the telemetry hot path must hold.
+// counts, a telemetry-on point whose overhead against the plain
+// workers=4 point is the budget the telemetry hot path must hold, and
+// a process-isolated point whose overhead against the same baseline
+// prices the executor's serialization and pipe transport.
 var fleetBenchCases = []struct {
 	name      string
 	workers   int
 	telemetry bool
+	proc      bool
 }{
-	{"workers=1", 1, false},
-	{"workers=4", 4, false},
-	{"workers=8", 8, false},
-	{"workers=4/telemetry", 4, true},
+	{"workers=1", 1, false, false},
+	{"workers=4", 4, false, false},
+	{"workers=8", 8, false, false},
+	{"workers=4/telemetry", 4, true, false},
+	{"workers=4/proc", 4, false, true},
 }
 
 // fleetBenchRun executes BenchmarkFleet's fixed matrix once: eight
 // devices × L2Fuzz × two shards at 50k packets. With telemetry on, the
 // farm carries hot-path counters and writes a discarded run journal —
-// the full recording stack minus the disk.
-func fleetBenchRun(workers int, telemetry bool) (*l2fuzz.FleetReport, error) {
+// the full recording stack minus the disk. With proc on, jobs run in
+// worker subprocesses (re-executions of this test binary, see
+// TestMain) instead of the in-process pool.
+func fleetBenchRun(workers int, telemetry, proc bool) (*l2fuzz.FleetReport, error) {
 	cfg := l2fuzz.FleetConfig{
 		Shards:           2,
 		BaseSeed:         7,
@@ -257,13 +277,20 @@ func fleetBenchRun(workers int, telemetry bool) (*l2fuzz.FleetReport, error) {
 		cfg.Counters = &l2fuzz.TelemetryCounters{}
 		cfg.Journal = l2fuzz.NewTelemetryJournal(io.Discard)
 	}
+	if proc {
+		cfg.Executor = l2fuzz.NewFleetProcExecutor(l2fuzz.FleetProcConfig{
+			Procs:   workers,
+			Command: []string{os.Args[0]},
+			Env:     []string{"L2FUZZ_FLEET_WORKER=1"},
+		})
+	}
 	return l2fuzz.RunFleet(cfg)
 }
 
 // TestBenchSnapshot records the fleet trajectory as a committed bench
-// snapshot (the repo's BENCH_6.json):
+// snapshot (the repo's BENCH_8.json):
 //
-//	BENCH_SNAPSHOT=BENCH_6.json go test -run TestBenchSnapshot .
+//	BENCH_SNAPSHOT=BENCH_8.json go test -run TestBenchSnapshot .
 //
 // Skipped unless BENCH_SNAPSHOT names the output path, so regular test
 // runs stay fast and the committed file only changes deliberately.
@@ -275,7 +302,7 @@ func TestBenchSnapshot(t *testing.T) {
 	rows := make([]l2fuzz.BenchRow, 0, len(fleetBenchCases))
 	for _, bc := range fleetBenchCases {
 		row := l2fuzz.MeasureBenchRow(func() (int64, int) {
-			report, err := fleetBenchRun(bc.workers, bc.telemetry)
+			report, err := fleetBenchRun(bc.workers, bc.telemetry, bc.proc)
 			if err != nil {
 				t.Fatal(err)
 			}

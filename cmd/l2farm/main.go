@@ -35,6 +35,18 @@
 // files are rejected with the line and column of the error. Use
 // "-devices none" with -device-file to farm custom targets alone.
 //
+// The -exec flag selects the job execution transport. The default,
+// "local", runs jobs in-process on the worker pool. "-exec proc" runs
+// them in worker subprocesses instead (each an "l2farm -worker"
+// re-execution of this binary, speaking length-prefixed JSON over its
+// stdin/stdout): a crashed worker takes only the job it was holding,
+// which the farm requeues on a surviving worker — both transports
+// produce identical reports. -procs sizes the subprocess pool
+// independently of -workers, and -job-deadline kills any worker that
+// sits on one job past the given duration (the job is retried). The
+// -worker flag itself is the subprocess entry point, not for
+// interactive use.
+//
 // The farm is observable while it runs. -telemetry ADDR serves a live
 // introspection endpoint: /metrics (Prometheus text format counters:
 // frames, packets, mutations, findings, job lifecycle), /debug/vars
@@ -51,6 +63,7 @@
 //	       [-ablations all|baseline,no-state-guiding,all-fields,no-garbage]
 //	       [-device-file spec.json]... [-shards 1] [-workers 0] [-seed 1]
 //	       [-max-packets 250000] [-budget D3=500000]... [-corpus dir]
+//	       [-exec local|proc] [-procs 0] [-job-deadline 0]
 //	       [-telemetry addr] [-journal dir]
 //	       [-measure] [-quiet] [-stream] [-dump]
 //
@@ -65,6 +78,7 @@
 //	l2farm -device-file toaster.json -budget smart-toaster=500000
 //	l2farm -devices none -device-file a.json -device-file b.json
 //	l2farm -corpus findings/ -fuzzers all   # durable, de-duplicated across runs
+//	l2farm -exec proc -fuzzers all          # process-isolated workers
 //	l2farm -telemetry localhost:6060        # curl /metrics, /snapshot, /debug/pprof
 //	l2farm -journal runs/ -quiet            # recorded, replayable run
 package main
@@ -193,24 +207,33 @@ func run() error {
 	budgets := make(budgetFlag)
 	var specFiles specFileFlag
 	var (
-		devices    = flag.String("devices", "all", "comma-separated catalog IDs, \"all\" for the Table V testbed, or \"none\" to farm -device-file targets alone")
-		fuzzers    = flag.String("fuzzers", "l2fuzz", "comma-separated fuzzer kinds, or \"all\"")
-		ablations  = flag.String("ablations", "", "comma-separated §IV-D variants (baseline, no-state-guiding, all-fields, no-garbage), or \"all\" for the whole grid")
-		shards     = flag.Int("shards", 1, "seed shards per (device, fuzzer, variant) cell")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		seed       = flag.Int64("seed", 1, "farm base seed")
-		maxPackets = flag.Int("max-packets", 0, "per-job packet budget (0 = library default)")
-		corpusDir  = flag.String("corpus", "", "persist findings with repro traces into this corpus directory; known signatures are reported as such (replay them with l2repro)")
-		telemetry  = flag.String("telemetry", "", "serve live metrics on this address (/metrics, /debug/vars, /snapshot, /debug/pprof)")
-		journalDir = flag.String("journal", "", "record the run as a JSONL journal in a fresh run directory under this path")
-		measure    = flag.Bool("measure", false, "measurement-grade targets: defects disabled, metrics only")
-		quiet      = flag.Bool("quiet", false, "suppress per-job progress lines")
-		stream     = flag.Bool("stream", false, "print de-duplicated findings as they land")
-		dump       = flag.Bool("dump", false, "print the first crash artefact of every finding")
+		devices     = flag.String("devices", "all", "comma-separated catalog IDs, \"all\" for the Table V testbed, or \"none\" to farm -device-file targets alone")
+		fuzzers     = flag.String("fuzzers", "l2fuzz", "comma-separated fuzzer kinds, or \"all\"")
+		ablations   = flag.String("ablations", "", "comma-separated §IV-D variants (baseline, no-state-guiding, all-fields, no-garbage), or \"all\" for the whole grid")
+		shards      = flag.Int("shards", 1, "seed shards per (device, fuzzer, variant) cell")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		seed        = flag.Int64("seed", 1, "farm base seed")
+		maxPackets  = flag.Int("max-packets", 0, "per-job packet budget (0 = library default)")
+		corpusDir   = flag.String("corpus", "", "persist findings with repro traces into this corpus directory; known signatures are reported as such (replay them with l2repro)")
+		telemetry   = flag.String("telemetry", "", "serve live metrics on this address (/metrics, /debug/vars, /snapshot, /debug/pprof)")
+		journalDir  = flag.String("journal", "", "record the run as a JSONL journal in a fresh run directory under this path")
+		execMode    = flag.String("exec", "local", "job execution transport: \"local\" (in-process pool) or \"proc\" (worker subprocesses)")
+		procs       = flag.Int("procs", 0, "worker subprocess count for -exec proc (0 = worker pool size)")
+		jobDeadline = flag.Duration("job-deadline", 0, "kill a -exec proc worker holding one job past this duration and retry the job (0 = no deadline)")
+		workerMode  = flag.Bool("worker", false, "run as a farm worker subprocess on stdin/stdout (spawned by -exec proc; not for interactive use)")
+
+		measure = flag.Bool("measure", false, "measurement-grade targets: defects disabled, metrics only")
+		quiet   = flag.Bool("quiet", false, "suppress per-job progress lines")
+		stream  = flag.Bool("stream", false, "print de-duplicated findings as they land")
+		dump    = flag.Bool("dump", false, "print the first crash artefact of every finding")
 	)
 	flag.Var(budgets, "budget", "per-target packet budget as TARGET=PACKETS (repeatable)")
 	flag.Var(&specFiles, "device-file", "JSON target spec fuzzed alongside the catalog devices (repeatable)")
 	flag.Parse()
+
+	if *workerMode {
+		return l2fuzz.RunFleetWorker(os.Stdin, os.Stdout)
+	}
 
 	cfg := l2fuzz.FleetConfig{
 		CustomDevices:    specFiles.specs,
@@ -276,6 +299,19 @@ func run() error {
 			return fmt.Errorf("unknown fuzzer %q (have %s)", name, strings.Join(allKindNames, ", "))
 		}
 		cfg.Kinds = append(cfg.Kinds, kind)
+	}
+	switch *execMode {
+	case "local":
+		if *procs != 0 || *jobDeadline != 0 {
+			return fmt.Errorf("-procs and -job-deadline require -exec proc")
+		}
+	case "proc":
+		cfg.Executor = l2fuzz.NewFleetProcExecutor(l2fuzz.FleetProcConfig{
+			Procs:       *procs,
+			JobDeadline: *jobDeadline,
+		})
+	default:
+		return fmt.Errorf("unknown -exec %q (have local, proc)", *execMode)
 	}
 	if *ablations != "" {
 		variantNames, err := splitList("ablations", strings.ToLower(*ablations))
@@ -344,6 +380,10 @@ func run() error {
 				len(fmt.Sprint(ev.Total)), ev.Done, ev.Total, jobW, res.Job.String(),
 				res.PacketsSent, res.Elapsed.Round(1e6), status)
 			printed = true
+		case l2fuzz.FleetWorkerDown:
+			if ev.WorkerErr != "" {
+				fmt.Fprintf(os.Stderr, "l2farm: worker %s died: %s (job requeued)\n", ev.Worker, ev.WorkerErr)
+			}
 		case l2fuzz.FleetNewFinding:
 			if !*stream {
 				continue

@@ -13,6 +13,12 @@
 // Triage feeds the freshly reproduced device dump to the root-cause
 // analyzer and prints its report.
 //
+// Regress is the corpus as a regression gate: it replays every stored
+// entry in parallel and exits nonzero if any signature stops
+// reproducing — wired into CI, yesterday's findings stay reproducible
+// on today's code or the build fails. -jobs bounds the replay
+// parallelism (0 = GOMAXPROCS).
+//
 // Entries recorded against catalog devices ("D1".."D8") rebuild their
 // target automatically; entries recorded against custom targets need
 // the spec passed back in with -device-file (the same JSON format
@@ -24,6 +30,7 @@
 //	l2repro -corpus DIR [-device-file spec.json] [-dump] replay KEY
 //	l2repro -corpus DIR [-device-file spec.json] [-write] [-max-replays N] minimize KEY
 //	l2repro -corpus DIR [-device-file spec.json] triage KEY
+//	l2repro -corpus DIR [-device-file spec.json] [-jobs N] regress
 //
 // Examples:
 //
@@ -32,12 +39,15 @@
 //	l2repro -corpus findings/ replay connection-reset--open--0x0003
 //	l2repro -corpus findings/ -write minimize connection-reset--open--0x0003
 //	l2repro -corpus findings/ triage connection-failed--wait-config--0x1001
+//	l2repro -corpus findings/ regress     # CI gate: all entries must reproduce
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"l2fuzz"
 )
@@ -56,6 +66,7 @@ func run() error {
 		dump       = flag.Bool("dump", false, "replay: print the reproduced crash artefact")
 		write      = flag.Bool("write", false, "minimize: store the minimized trace back into the corpus")
 		maxReplays = flag.Int("max-replays", 0, "minimize: cap verification replays (0 = library default)")
+		jobs       = flag.Int("jobs", 0, "regress: parallel replay workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *corpusDir == "" {
@@ -63,7 +74,7 @@ func run() error {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("want a command: list, replay KEY, minimize KEY, or triage KEY")
+		return fmt.Errorf("want a command: list, regress, replay KEY, minimize KEY, or triage KEY")
 	}
 	store, err := l2fuzz.OpenCorpus(*corpusDir)
 	if err != nil {
@@ -91,6 +102,12 @@ func run() error {
 		}
 		return list(store)
 	}
+	if cmd == "regress" {
+		if len(args) != 0 {
+			return fmt.Errorf("regress takes no arguments")
+		}
+		return regress(store, rcfg, *jobs)
+	}
 	if len(args) != 1 {
 		return fmt.Errorf("%s takes exactly one signature key (see: l2repro -corpus %s list)", cmd, *corpusDir)
 	}
@@ -106,7 +123,7 @@ func run() error {
 	case "triage":
 		return triage(entry, rcfg)
 	default:
-		return fmt.Errorf("unknown command %q (have list, replay, minimize, triage)", cmd)
+		return fmt.Errorf("unknown command %q (have list, replay, minimize, triage, regress)", cmd)
 	}
 }
 
@@ -129,6 +146,61 @@ func list(store *l2fuzz.CorpusStore) error {
 			l2fuzz.CorpusKey(e.Signature), e.Signature, e.Finding.Error.Severity(),
 			e.Kind, e.Trace.Target, e.Trace.Seed, status)
 	}
+	return nil
+}
+
+// regress replays every stored entry on a bounded worker pool and
+// fails if any signature stops reproducing — the corpus as a CI
+// regression gate. Output follows the store's listing order regardless
+// of replay scheduling.
+func regress(store *l2fuzz.CorpusStore, rcfg l2fuzz.CorpusReplayConfig, jobs int) error {
+	entries, err := store.Entries()
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Println("corpus is empty; nothing to regress")
+		return nil
+	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	type outcome struct {
+		res *l2fuzz.CorpusReplayResult
+		err error
+	}
+	outcomes := make([]outcome, len(entries))
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i, e := range entries {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := l2fuzz.ReplayCorpusEntry(e, rcfg)
+			outcomes[i] = outcome{res, err}
+		}()
+	}
+	wg.Wait()
+	failed := 0
+	for i, e := range entries {
+		key := l2fuzz.CorpusKey(e.Signature)
+		switch o := outcomes[i]; {
+		case o.err != nil:
+			failed++
+			fmt.Printf("  FAIL %-45s replay error: %v\n", key, o.err)
+		case !o.res.Reproduced:
+			failed++
+			fmt.Printf("  FAIL %-45s recorded %s, observed %s\n", key, e.Signature, o.res.Signature)
+		default:
+			fmt.Printf("  ok   %-45s %s\n", key, e.Signature)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d stored finding(s) no longer reproduce", failed, len(entries))
+	}
+	fmt.Printf("all %d stored finding(s) reproduce\n", len(entries))
 	return nil
 }
 

@@ -31,10 +31,12 @@ type Config struct {
 	// the device's RFCOMM L2CAP channel (the §V extension substrate).
 	RFCOMMServices []rfcomm.Service
 	// RFCOMMDefect optionally injects a defect into the multiplexer.
-	RFCOMMDefect rfcomm.MuxDefect
+	// Defects are declarative (kind plus calibration), so a Config is
+	// plain data; nil means a robust mux.
+	RFCOMMDefect *rfcomm.MuxDefect
 	// SDPDefect optionally injects a parser defect into the device's SDP
-	// server.
-	SDPDefect sdp.ServerDefect
+	// server; nil means a robust server.
+	SDPDefect *sdp.ServerDefect
 }
 
 // Device is one simulated Bluetooth target.
@@ -54,6 +56,11 @@ type Device struct {
 	serviceDown bool
 	poweredOff  bool
 	dump        *CrashDump
+
+	// cmdSeq counts signaling commands decoded since the last Reset: the
+	// command clock exhaustion-style defect triggers
+	// (device.TriggerCommandFlood) read through TriggerContext.Seq.
+	cmdSeq int
 
 	// handlerHits counts invocations per packet handler: the simulated
 	// analogue of the limited code-coverage measurement the paper's §V
@@ -181,6 +188,7 @@ func (d *Device) Reset() {
 	d.channels = make(map[l2cap.CID]*channel)
 	d.closedMachines = nil
 	d.nextCID = l2cap.CIDDynamicFirst
+	d.cmdSeq = 0
 	d.sdpSrv = newSDPServer(d.ports, d.cfg)
 	if len(d.cfg.RFCOMMServices) > 0 {
 		defect := d.cfg.RFCOMMDefect
@@ -331,6 +339,7 @@ func (d *Device) handleCommand(h hci.ConnHandle, f l2cap.Frame) {
 		return
 	}
 	d.handlerHits[f.Code.String()]++
+	d.cmdSeq++
 	switch c := cmd.(type) {
 	case *l2cap.ConnectionReq:
 		d.onConnectionReq(h, f, c)
@@ -641,9 +650,10 @@ func (d *Device) checkVuln(h hci.ConnHandle, f l2cap.Frame, cmd l2cap.Command, s
 		Cmd:      cmd,
 		Tail:     f.Tail,
 		KnownCID: knownCID,
+		Seq:      d.cmdSeq,
 	}
 	for _, v := range d.cfg.Profile.Vulns {
-		if v.Trigger(ctx) {
+		if v.Trigger.Matches(ctx) {
 			d.crash(v, f)
 			return true
 		}

@@ -46,15 +46,23 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// Clone returns a copy of the spec whose slice-backed fields — ports,
+// Clone returns a copy of the spec whose referenced fields — ports,
 // RFCOMM services, injected defects — no longer alias the original, so
-// holders of the clone are isolated from later caller mutation.
-// Behaviour hooks (defect triggers, the RFCOMM defect) are function
-// values and stay shared.
+// holders of the clone are isolated from later caller mutation. Specs
+// are pure data (defect triggers are declarative descriptors, not
+// closures), so a clone is a complete deep copy.
 func (s Spec) Clone() Spec {
 	s.Config.Ports = append([]ServicePort(nil), s.Config.Ports...)
 	s.Config.RFCOMMServices = append([]rfcomm.Service(nil), s.Config.RFCOMMServices...)
 	s.Config.Profile.Vulns = append([]VulnSpec(nil), s.Config.Profile.Vulns...)
+	if s.Config.RFCOMMDefect != nil {
+		d := *s.Config.RFCOMMDefect
+		s.Config.RFCOMMDefect = &d
+	}
+	if s.Config.SDPDefect != nil {
+		d := *s.Config.SDPDefect
+		s.Config.SDPDefect = &d
+	}
 	return s
 }
 

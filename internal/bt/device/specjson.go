@@ -246,14 +246,6 @@ var (
 	}()
 )
 
-// profileShapeEqual compares every behaviour knob of two profiles
-// except the defect list (VulnSpec carries closures, compared by ID in
-// EncodeSpec instead).
-func profileShapeEqual(a, b Profile) bool {
-	a.Vulns, b.Vulns = nil, nil
-	return reflect.DeepEqual(a, b)
-}
-
 // EncodeSpec renders a target spec into the JSON form DecodeSpec
 // parses — the inverse direction, used to embed a custom target's
 // identity in corpus entries so they stay self-contained.
@@ -261,13 +253,13 @@ func profileShapeEqual(a, b Profile) bool {
 // Not every hand-built Spec is representable: the JSON form carries one
 // name (Config.Name must equal Spec.Name), only the six named stacks
 // with their constructor-default behaviour knobs, only the four catalog
-// defects (matched by VulnSpec.ID), and an RFCOMM defect only alongside
-// services (DecodeSpec rejects the combination otherwise). Those
-// mismatches are reported as errors. One lossiness is undetectable:
-// defect trigger calibration lives in closures the encoder cannot
-// inspect, so a re-calibrated defect under a catalog ID encodes as the
-// catalog calibration. Specs produced by DecodeSpec always round-trip
-// exactly.
+// defects at their catalog calibration, and an RFCOMM defect only
+// alongside services (DecodeSpec rejects the combination otherwise).
+// Every mismatch is reported as an error: defect triggers are
+// declarative descriptors the encoder compares by value, so a
+// re-calibrated defect under a catalog ID is rejected rather than
+// silently encoded as the catalog calibration. Specs produced by
+// DecodeSpec always round-trip exactly.
 func EncodeSpec(spec Spec) ([]byte, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -291,10 +283,17 @@ func EncodeSpec(spec Spec) ([]byte, error) {
 			return nil, fmt.Errorf("device spec %q: defect %q is not a catalog defect (have %s)",
 				spec.Name, v.ID, sortedNames(specDefects))
 		}
+		if catalog := specDefects[key](); !reflect.DeepEqual(v, catalog) {
+			return nil, fmt.Errorf("device spec %q: defect %q calibration differs from the catalog's; DecodeSpec could not rebuild it",
+				spec.Name, v.ID)
+		}
 		defects = append(defects, key)
 	}
+	// The defect list round-trips by construction (verified above), so
+	// the whole profile — knobs and defects — must equal what the stack
+	// constructor rebuilds from the doc.
 	rebuilt := specProfiles[stackKey](cfg.Profile.BTVersion, cfg.Profile.Fingerprint, cfg.Profile.Vulns)
-	if !profileShapeEqual(cfg.Profile, rebuilt) {
+	if !reflect.DeepEqual(cfg.Profile, rebuilt) {
 		return nil, fmt.Errorf("device spec %q: profile behaviour knobs differ from the %q stack constructor's; DecodeSpec could not rebuild them", spec.Name, stackKey)
 	}
 
@@ -319,6 +318,9 @@ func EncodeSpec(spec Spec) ([]byte, error) {
 	if len(cfg.RFCOMMServices) > 0 || cfg.RFCOMMDefect != nil {
 		if cfg.RFCOMMDefect != nil && len(cfg.RFCOMMServices) == 0 {
 			return nil, fmt.Errorf("device spec %q: an RFCOMM defect without RFCOMM services is not decodable", spec.Name)
+		}
+		if cfg.RFCOMMDefect != nil && *cfg.RFCOMMDefect != *rfcomm.ReservedDLCIDefect() {
+			return nil, fmt.Errorf("device spec %q: RFCOMM defect calibration differs from the reserved-DLCI defect's; DecodeSpec could not rebuild it", spec.Name)
 		}
 		rd := &rfcommDoc{Defect: cfg.RFCOMMDefect != nil}
 		for _, s := range cfg.RFCOMMServices {

@@ -61,26 +61,155 @@ type TriggerContext struct {
 	// KnownCID reports whether the command addressed a channel endpoint
 	// the device actually allocated.
 	KnownCID bool
+	// Seq is the 1-based count of signaling commands the device has
+	// decoded since its last reset: the clock exhaustion-style defects
+	// (TriggerCommandFlood) fire on.
+	Seq int
 }
 
 // Job is the job of the contextual state.
 func (c TriggerContext) Job() sm.Job { return sm.JobOf(c.State) }
 
-// VulnSpec is one injected implementation defect.
+// TriggerKind names a defect-predicate family. Triggers are declarative
+// — a kind plus calibration parameters in a TriggerSpec — so a device
+// spec carrying them is plain data: JSON-serializable, comparable by
+// value, and identical on both sides of a process boundary (the fleet's
+// proc executor ships specs to worker processes).
+type TriggerKind string
+
+// The predicate families, one per injected defect shape.
+const (
+	// TriggerCCBNullDeref is the BlueDroid null-CCB dereference family:
+	// a Configuration Request to an unallocated endpoint with a garbage
+	// tail, narrowed by DCIDLowByte and MinTail (MatchAll widens it).
+	TriggerCCBNullDeref TriggerKind = "ccb-null-deref"
+	// TriggerCreateChannelDeref is the Samsung create-channel family: a
+	// malformed Create Channel Request with an abnormal PSM in PSMBand,
+	// an SCID aligned to SCIDMask and a tail of at least MinTail bytes.
+	TriggerCreateChannelDeref TriggerKind = "create-channel-deref"
+	// TriggerPSMServiceKill is the RTKit malicious-PSM family: a
+	// Connection Request carrying an odd-band abnormal PSM (optionally
+	// pinned to PSMBand) with an SCID aligned to SCIDMask.
+	TriggerPSMServiceKill TriggerKind = "psm-service-kill"
+	// TriggerOptionOverrunGPF is the BlueZ option-parsing family: a
+	// Configuration Request to an unallocated low dynamic CID (DCIDLowByte,
+	// DCIDMax) in a specific configuration sub-state (State) with a tail
+	// of at least MinTail bytes (MatchAll drops the state and CID narrowing).
+	TriggerOptionOverrunGPF TriggerKind = "option-overrun-gpf"
+	// TriggerCommandFlood is the resource-exhaustion family: any checked
+	// command fires once the device has decoded at least MinCommands
+	// signaling commands since its last reset. Tests use it to place a
+	// crash at a controlled depth into a run.
+	TriggerCommandFlood TriggerKind = "command-flood"
+)
+
+// TriggerSpec is a declarative defect predicate: Kind selects the
+// family, the remaining fields calibrate it. Fields a family does not
+// read are ignored; the zero TriggerSpec matches nothing.
+type TriggerSpec struct {
+	// Kind selects the predicate family.
+	Kind TriggerKind `json:"kind"`
+	// DCIDLowByte narrows DCID-keyed families to DCIDs whose low byte
+	// matches.
+	DCIDLowByte uint8 `json:"dcidLowByte,omitempty"`
+	// DCIDMax caps the DCID for TriggerOptionOverrunGPF.
+	DCIDMax l2cap.CID `json:"dcidMax,omitempty"`
+	// PSMBand pins the vulnerable PSM high byte; zero means any band for
+	// TriggerPSMServiceKill.
+	PSMBand uint8 `json:"psmBand,omitempty"`
+	// SCIDMask models hash-bucket alignment: the trigger requires
+	// SCID&SCIDMask == 0.
+	SCIDMask uint16 `json:"scidMask,omitempty"`
+	// MinTail is the shortest garbage tail that fires the defect.
+	MinTail int `json:"minTail,omitempty"`
+	// State is the required channel state for TriggerOptionOverrunGPF.
+	State sm.State `json:"state,omitempty"`
+	// MatchAll widens a family to its whole command shape, for tests.
+	MatchAll bool `json:"matchAll,omitempty"`
+	// MinCommands is TriggerCommandFlood's firing depth.
+	MinCommands int `json:"minCommands,omitempty"`
+}
+
+// Matches evaluates the declarative predicate against one command.
+func (t TriggerSpec) Matches(ctx TriggerContext) bool {
+	switch t.Kind {
+	case TriggerCCBNullDeref:
+		if ctx.Job() != sm.JobConfiguration || ctx.Code != l2cap.CodeConfigurationReq {
+			return false
+		}
+		req, ok := ctx.Cmd.(*l2cap.ConfigurationReq)
+		if !ok || ctx.KnownCID || len(ctx.Tail) == 0 {
+			return false
+		}
+		if t.MatchAll {
+			return true
+		}
+		return uint8(req.DCID&0xFF) == t.DCIDLowByte && len(ctx.Tail) >= t.MinTail
+	case TriggerCreateChannelDeref:
+		if ctx.Job() != sm.JobCreation || ctx.Code != l2cap.CodeCreateChannelReq {
+			return false
+		}
+		req, ok := ctx.Cmd.(*l2cap.CreateChannelReq)
+		if !ok || len(ctx.Tail) < t.MinTail {
+			return false
+		}
+		if uint16(req.SCID)&t.SCIDMask != 0 {
+			return false
+		}
+		return uint8(req.PSM>>8) == t.PSMBand && l2cap.IsAbnormalPSM(req.PSM)
+	case TriggerPSMServiceKill:
+		if ctx.Code != l2cap.CodeConnectionReq {
+			return false
+		}
+		req, ok := ctx.Cmd.(*l2cap.ConnectionReq)
+		if !ok {
+			return false
+		}
+		// Odd-band abnormal PSMs only: structurally almost-valid ports
+		// that reach deeper dispatch before dying.
+		if req.PSM&0x0001 != 0x0001 || !l2cap.IsAbnormalPSM(req.PSM) {
+			return false
+		}
+		if t.PSMBand != 0 && uint8(req.PSM>>8) != t.PSMBand {
+			return false
+		}
+		return uint16(req.SCID)&t.SCIDMask == 0
+	case TriggerOptionOverrunGPF:
+		if ctx.Code != l2cap.CodeConfigurationReq {
+			return false
+		}
+		req, ok := ctx.Cmd.(*l2cap.ConfigurationReq)
+		if !ok || ctx.KnownCID || len(ctx.Tail) < t.MinTail {
+			return false
+		}
+		if t.MatchAll {
+			return true
+		}
+		return ctx.State == t.State && uint8(req.DCID&0xFF) == t.DCIDLowByte && req.DCID <= t.DCIDMax
+	case TriggerCommandFlood:
+		return t.MinCommands > 0 && ctx.Seq >= t.MinCommands
+	}
+	return false
+}
+
+// VulnSpec is one injected implementation defect. It is pure data —
+// Trigger is a declarative TriggerSpec, not code — so whole specs
+// serialize, compare by value and survive a trip through a job journal
+// or the proc executor's wire protocol.
 type VulnSpec struct {
 	// ID names the defect, e.g. "bluedroid-ccb-null-deref".
-	ID string
+	ID string `json:"id"`
 	// Description is the paper-facing summary.
-	Description string
+	Description string `json:"description"`
 	// Class is the observable severity.
-	Class CrashClass
+	Class CrashClass `json:"class"`
 	// Dump is the artefact kind.
-	Dump DumpKind
+	Dump DumpKind `json:"dump"`
 	// FaultFunc is the function name recorded in the dump backtrace.
-	FaultFunc string
-	// Trigger decides whether this command, in this context, fires the
+	FaultFunc string `json:"faultFunc,omitempty"`
+	// Trigger decides whether a command, in its context, fires the
 	// defect.
-	Trigger func(TriggerContext) bool
+	Trigger TriggerSpec `json:"trigger"`
 }
 
 // BlueDroidCCBNullDeref reproduces the Android ID 195112457 defect of
@@ -101,18 +230,11 @@ func BlueDroidCCBNullDeref(dcidLowByte uint8, minTail int, matchAll bool) VulnSp
 		Class:       ClassDoS,
 		Dump:        DumpTombstone,
 		FaultFunc:   "l2c_csm_execute(t_l2c_ccb*, unsigned short, void*)+3748",
-		Trigger: func(ctx TriggerContext) bool {
-			if ctx.Job() != sm.JobConfiguration || ctx.Code != l2cap.CodeConfigurationReq {
-				return false
-			}
-			req, ok := ctx.Cmd.(*l2cap.ConfigurationReq)
-			if !ok || ctx.KnownCID || len(ctx.Tail) == 0 {
-				return false
-			}
-			if matchAll {
-				return true
-			}
-			return uint8(req.DCID&0xFF) == dcidLowByte && len(ctx.Tail) >= minTail
+		Trigger: TriggerSpec{
+			Kind:        TriggerCCBNullDeref,
+			DCIDLowByte: dcidLowByte,
+			MinTail:     minTail,
+			MatchAll:    matchAll,
 		},
 	}
 }
@@ -130,18 +252,11 @@ func SamsungCreateChannelDeref(psmBand uint8, minTail int, scidMask uint16) Vuln
 		Class:       ClassDoS,
 		Dump:        DumpTombstone,
 		FaultFunc:   "l2c_csm_execute(t_l2c_ccb*, unsigned short, void*)+2212",
-		Trigger: func(ctx TriggerContext) bool {
-			if ctx.Job() != sm.JobCreation || ctx.Code != l2cap.CodeCreateChannelReq {
-				return false
-			}
-			req, ok := ctx.Cmd.(*l2cap.CreateChannelReq)
-			if !ok || len(ctx.Tail) < minTail {
-				return false
-			}
-			if uint16(req.SCID)&scidMask != 0 {
-				return false
-			}
-			return uint8(req.PSM>>8) == psmBand && l2cap.IsAbnormalPSM(req.PSM)
+		Trigger: TriggerSpec{
+			Kind:     TriggerCreateChannelDeref,
+			PSMBand:  psmBand,
+			MinTail:  minTail,
+			SCIDMask: scidMask,
 		},
 	}
 }
@@ -160,23 +275,10 @@ func RTKitPSMServiceKill(psmBand uint8, scidMask uint16) VulnSpec {
 		Class:       ClassCrash,
 		Dump:        DumpNone,
 		FaultFunc:   "RTKitServicePort::dispatch",
-		Trigger: func(ctx TriggerContext) bool {
-			if ctx.Code != l2cap.CodeConnectionReq {
-				return false
-			}
-			req, ok := ctx.Cmd.(*l2cap.ConnectionReq)
-			if !ok {
-				return false
-			}
-			// Odd-band abnormal PSMs only: structurally almost-valid ports
-			// that reach deeper dispatch before dying.
-			if req.PSM&0x0001 != 0x0001 || !l2cap.IsAbnormalPSM(req.PSM) {
-				return false
-			}
-			if psmBand != 0 && uint8(req.PSM>>8) != psmBand {
-				return false
-			}
-			return uint16(req.SCID)&scidMask == 0
+		Trigger: TriggerSpec{
+			Kind:     TriggerPSMServiceKill,
+			PSMBand:  psmBand,
+			SCIDMask: scidMask,
 		},
 	}
 }
@@ -195,15 +297,12 @@ func BlueZOptionOverrunGPF(dcidLowByte uint8, dcidMax l2cap.CID, minTail int, st
 		Class:       ClassCrash,
 		Dump:        DumpGPFault,
 		FaultFunc:   "l2cap_parse_conf_req+0x1f4/0x5a0 [bluetooth]",
-		Trigger: func(ctx TriggerContext) bool {
-			if ctx.State != state || ctx.Code != l2cap.CodeConfigurationReq {
-				return false
-			}
-			req, ok := ctx.Cmd.(*l2cap.ConfigurationReq)
-			if !ok || ctx.KnownCID || len(ctx.Tail) < minTail {
-				return false
-			}
-			return uint8(req.DCID&0xFF) == dcidLowByte && req.DCID <= dcidMax
+		Trigger: TriggerSpec{
+			Kind:        TriggerOptionOverrunGPF,
+			DCIDLowByte: dcidLowByte,
+			DCIDMax:     dcidMax,
+			MinTail:     minTail,
+			State:       state,
 		},
 	}
 }

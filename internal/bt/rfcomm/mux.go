@@ -43,18 +43,47 @@ type Service struct {
 	Name string
 }
 
+// MuxDefectKind names a mux-defect predicate family.
+type MuxDefectKind string
+
+// MuxDefectReservedDLCI is the reserved-DLCI control-block dereference
+// family: a SABM addressed to a DLCI at or above MinDLCI with a garbage
+// tail of at least MinTail bytes kills the multiplexer.
+const MuxDefectReservedDLCI MuxDefectKind = "reserved-dlci"
+
 // MuxDefect is an injected RFCOMM-layer defect for the §V extension
-// demonstration: a predicate over incoming frames that, when true, kills
-// the multiplexer.
-type MuxDefect func(Frame) bool
+// demonstration: a declarative predicate over incoming frames that,
+// when it matches, kills the multiplexer. Like device.TriggerSpec it is
+// pure data — kind plus calibration — so device configurations carrying
+// it serialize and compare by value. A nil *MuxDefect is a robust mux.
+type MuxDefect struct {
+	// Kind selects the predicate family.
+	Kind MuxDefectKind `json:"kind"`
+	// MinDLCI is the lowest DLCI the defect fires on (the reserved band
+	// starts at 62).
+	MinDLCI uint8 `json:"minDLCI,omitempty"`
+	// MinTail is the shortest garbage tail that fires it.
+	MinTail int `json:"minTail,omitempty"`
+}
+
+// Matches evaluates the defect predicate against one decoded frame.
+// Safe on a nil receiver, which matches nothing.
+func (d *MuxDefect) Matches(f Frame) bool {
+	if d == nil {
+		return false
+	}
+	switch d.Kind {
+	case MuxDefectReservedDLCI:
+		return f.Type == FrameSABM && f.DLCI >= d.MinDLCI && len(f.Tail) >= d.MinTail
+	}
+	return false
+}
 
 // ReservedDLCIDefect reproduces the shape of the L2CAP findings one
 // layer up: a SABM addressed to a reserved DLCI (62 or 63) with a
 // garbage tail dereferences an unallocated DLC control block.
-func ReservedDLCIDefect() MuxDefect {
-	return func(f Frame) bool {
-		return f.Type == FrameSABM && f.DLCI >= 62 && len(f.Tail) > 0
-	}
+func ReservedDLCIDefect() *MuxDefect {
+	return &MuxDefect{Kind: MuxDefectReservedDLCI, MinDLCI: 62, MinTail: 1}
 }
 
 // Mux is the server-side RFCOMM multiplexer mounted on a device's RFCOMM
@@ -62,7 +91,7 @@ func ReservedDLCIDefect() MuxDefect {
 // simulation).
 type Mux struct {
 	services []Service
-	defect   MuxDefect
+	defect   *MuxDefect
 
 	dlcs    map[uint8]DLCState
 	started bool // DLCI 0 (control channel) established
@@ -72,7 +101,7 @@ type Mux struct {
 
 // NewMux builds a multiplexer over the published services. defect may be
 // nil for a robust mux.
-func NewMux(services []Service, defect MuxDefect) *Mux {
+func NewMux(services []Service, defect *MuxDefect) *Mux {
 	m := &Mux{
 		services: append([]Service(nil), services...),
 		defect:   defect,
@@ -134,7 +163,7 @@ func (m *Mux) Handle(raw []byte) [][]byte {
 		// the RFCOMM analogue of "command not understood".
 		return nil
 	}
-	if m.defect != nil && m.defect(f) {
+	if m.defect.Matches(f) {
 		m.crashed = true
 		return nil
 	}

@@ -198,7 +198,7 @@ func parseRecord(rec DataElement) (ServiceInfo, error) {
 // value answers with an empty service list.
 type Server struct {
 	services []ServiceInfo
-	defect   ServerDefect
+	defect   *ServerDefect
 	crashed  bool
 }
 
@@ -209,7 +209,7 @@ func NewServer(services []ServiceInfo) *Server {
 
 // NewDefectiveServer builds a server carrying an injected parser defect.
 // A nil defect gives the same robust server NewServer builds.
-func NewDefectiveServer(services []ServiceInfo, defect ServerDefect) *Server {
+func NewDefectiveServer(services []ServiceInfo, defect *ServerDefect) *Server {
 	s := NewServer(services)
 	s.defect = defect
 	return s
@@ -227,7 +227,7 @@ func (s *Server) Handle(raw []byte) []byte {
 	if s.crashed {
 		return nil
 	}
-	if s.defect != nil && s.defect(raw) {
+	if s.defect.Matches(raw) {
 		s.crashed = true
 		return nil
 	}

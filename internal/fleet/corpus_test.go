@@ -83,7 +83,6 @@ func TestCorpusFarmSchedulingIndependence(t *testing.T) {
 // more commands than the unresolved budget's trace limit would hold.
 func TestVariantRaisedBudgetDoesNotTruncateTrace(t *testing.T) {
 	const fireAfter = 10_000
-	calls := 0
 	spec := device.Spec{
 		Name: "slow-burn",
 		Config: device.Config{
@@ -96,14 +95,11 @@ func TestVariantRaisedBudgetDoesNotTruncateTrace(t *testing.T) {
 					Class:       device.ClassDoS,
 					Dump:        device.DumpTombstone,
 					FaultFunc:   "l2c_csm_execute(test)",
-					// Stateful on purpose: the crash lands at a command
-					// count past the pre-resolution trace limit. (This
-					// also means the spec instance cannot be reused for
-					// a replay — irrelevant here, where the property
-					// under test is trace completeness.)
-					Trigger: func(device.TriggerContext) bool {
-						calls++
-						return calls >= fireAfter
+					// The command-flood trigger places the crash at a
+					// command depth past the pre-resolution trace limit.
+					Trigger: device.TriggerSpec{
+						Kind:        device.TriggerCommandFlood,
+						MinCommands: fireAfter,
 					},
 				}),
 			Ports: []device.ServicePort{

@@ -43,10 +43,11 @@ const (
 
 // catalogTargets resolves the defect-armed Table V catalog into shared
 // target specs, once: every farm's catalog jobs point at these same
-// Specs, so reports from equal configs stay deeply comparable (the
-// specs' behaviour hooks are function values, which reflect.DeepEqual
-// only accepts by identity). MeasurementGrade farms disable the defects
-// at rig-build time, not here.
+// Specs, so equal configs build pointer-identical job lists and a
+// catalog rebuild is never paid per farm. Specs are pure data
+// (declarative defect descriptors, not closures), so sharing is safe —
+// nothing downstream mutates them. MeasurementGrade farms disable the
+// defects at rig-build time, not here.
 var catalogTargets = func() (m map[string]*device.Spec) {
 	m = make(map[string]*device.Spec)
 	for _, s := range device.CatalogSpecs(false) {
@@ -128,12 +129,27 @@ type Config struct {
 	// back into the Report the live farm produced. Journal write errors
 	// never stop the farm; check Journal.Err after the run.
 	Journal *telemetry.Journal
+	// Executor, when set, runs the farm's jobs: the in-process pool
+	// (LocalExecutor, the default when nil) or subprocess workers
+	// (ProcExecutor). The farm owns its lifecycle — Start before the
+	// first job, Close after the last is accounted for. Both executors
+	// render byte-identical reports from equal configs.
+	Executor Executor
 
 	// targets is the resolved device axis — catalog specs for Devices
 	// entries followed by owned copies of CustomDevices — populated by
 	// withDefaults. Jobs carry pointers into it.
 	targets []*device.Spec
+	// forceRecord makes rigs record repro traces without a Corpus: set
+	// on proc workers whose coordinator holds the store, never by
+	// callers.
+	forceRecord bool
 }
+
+// recordTraces reports whether jobs should record repro traces: the
+// farm has a store to persist them into, or this process is a proc
+// worker whose coordinator does.
+func (c Config) recordTraces() bool { return c.Corpus != nil || c.forceRecord }
 
 // withDefaults fills unset fields, validates the matrix, and resolves
 // the device axis into the target list.
@@ -249,11 +265,11 @@ type Job struct {
 	Device string
 	// Spec is the resolved target spec the job runs against. Catalog
 	// jobs share the package-wide catalog specs; treat it as read-only.
-	// Excluded from JSON: specs carry defect-trigger closures encoding/
-	// json cannot represent (the telemetry endpoint serves report
-	// snapshots as JSON; device.EncodeSpec is the spec codec, and
-	// Device keeps the name).
-	Spec *device.Spec `json:"-"`
+	// Specs are pure data — defect triggers are declarative descriptors,
+	// not closures — so the spec serializes with the job: the proc
+	// executor ships it to worker subprocesses inline, and the telemetry
+	// endpoint's report snapshots carry it.
+	Spec *device.Spec `json:",omitempty"`
 	// Kind is the fuzzer kind.
 	Kind Kind
 	// Variant names the job's configuration variant.

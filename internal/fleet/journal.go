@@ -15,8 +15,10 @@ import (
 
 // journalVersion pins the farm record schema. ReplayJournal refuses a
 // journal written under a different version rather than silently
-// misfolding it.
-const journalVersion = 1
+// misfolding it. Version 2 added the encoded target spec to job
+// records, the executor worker id to result records, and the worker
+// lifecycle record.
+const journalVersion = 2
 
 // The farm's journal record types. A journal additionally carries
 // telemetry.RecordSample records when the writer runs a counter
@@ -26,6 +28,7 @@ const (
 	recJobStarted = "job-started"
 	recJobDone    = "job-done"
 	recFinding    = "finding"
+	recWorker     = "worker"
 )
 
 // journalFarm is the run header: enough of the matrix shape to sanity-
@@ -41,16 +44,21 @@ type journalFarm struct {
 	Shards   int      `json:"shards"`
 }
 
-// journalJob is a Job minus its resolved Spec pointer — replay resolves
-// the spec again from the config's target list.
+// journalJob is a Job with its resolved target spec inline: specs are
+// pure data (declarative defect descriptors), so the journal embeds the
+// full spec and is self-describing — a reader needs no catalog to know
+// exactly what configuration each job fuzzed. Replay ignores the field
+// and resolves specs from the config's target list, which keeps the
+// replayed report's Spec pointers identical to a live farm's.
 type journalJob struct {
-	Index      int    `json:"index"`
-	Device     string `json:"device"`
-	Kind       Kind   `json:"kind"`
-	Variant    string `json:"variant"`
-	Shard      int    `json:"shard"`
-	Seed       int64  `json:"seed"`
-	MaxPackets int    `json:"maxPackets"`
+	Index      int          `json:"index"`
+	Device     string       `json:"device"`
+	Spec       *device.Spec `json:"spec,omitempty"`
+	Kind       Kind         `json:"kind"`
+	Variant    string       `json:"variant"`
+	Shard      int          `json:"shard"`
+	Seed       int64        `json:"seed"`
+	MaxPackets int          `json:"maxPackets"`
 }
 
 type journalStarted struct {
@@ -67,6 +75,7 @@ type journalOccurrence struct {
 
 type journalResult struct {
 	Job         journalJob          `json:"job"`
+	Worker      string              `json:"worker,omitempty"`
 	Err         string              `json:"err,omitempty"`
 	PacketsSent int                 `json:"packetsSent"`
 	ElapsedNs   time.Duration       `json:"elapsedNs"`
@@ -85,10 +94,22 @@ type journalFinding struct {
 	Total  int           `json:"total"`
 }
 
+// journalWorker is one executor worker lifecycle change. Replay
+// ignores these records — they exist for post-hoc farm forensics (which
+// worker died when, under which job counts).
+type journalWorker struct {
+	Worker string `json:"worker"`
+	Up     bool   `json:"up"`
+	Err    string `json:"err,omitempty"`
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+}
+
 func toJournalJob(j Job) journalJob {
 	return journalJob{
 		Index:      j.Index,
 		Device:     j.Device,
+		Spec:       j.Spec,
 		Kind:       j.Kind,
 		Variant:    j.Variant,
 		Shard:      j.Shard,
@@ -148,6 +169,7 @@ func (f *Farm) journalResult(res JobResult) {
 	}
 	jr := journalResult{
 		Job:         toJournalJob(res.Job),
+		Worker:      res.Worker,
 		PacketsSent: res.PacketsSent,
 		ElapsedNs:   res.Elapsed,
 		WallNs:      res.Wall,
@@ -172,6 +194,13 @@ func (f *Farm) journalFinding(rec FindingRecord, job Job) {
 	f.cfg.Journal.Write(recFinding, journalFinding{Record: rec, Job: toJournalJob(job), Done: f.done, Total: f.total})
 }
 
+func (f *Farm) journalWorker(ev WorkerEvent) {
+	if f.cfg.Journal == nil {
+		return
+	}
+	f.cfg.Journal.Write(recWorker, journalWorker{Worker: ev.Worker, Up: ev.Up, Err: ev.Err, Done: f.done, Total: f.total})
+}
+
 // ReplayJournal folds a persisted run journal back into a Report, using
 // the same Aggregator the live farm used, so the replayed report equals
 // the live one field for field — job results (including per-job wall
@@ -192,6 +221,7 @@ func ReplayJournal(cfg Config, r io.Reader) (*Report, error) {
 	cfg.Journal = nil
 	cfg.Counters = nil
 	cfg.OnJobDone = nil
+	cfg.Executor = nil
 	rcfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -227,6 +257,7 @@ func ReplayJournal(cfg Config, r io.Reader) (*Report, error) {
 			}
 			res := JobResult{
 				Job:         fromJournalJob(jr.Job, specs),
+				Worker:      jr.Worker,
 				PacketsSent: jr.PacketsSent,
 				Elapsed:     jr.ElapsedNs,
 				Wall:        jr.WallNs,
@@ -241,8 +272,9 @@ func ReplayJournal(cfg Config, r io.Reader) (*Report, error) {
 			}
 			agg.Add(res)
 		}
-		// job-started, finding and sample records carry no state the
-		// fold does not reconstruct; they exist for progress curves.
+		// job-started, finding, worker and sample records carry no
+		// state the fold does not reconstruct; they exist for progress
+		// curves and farm forensics.
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"l2fuzz/internal/corpus"
+	"l2fuzz/internal/telemetry"
+)
+
+// workerEnv re-execs the test binary as a farm worker: TestMain sees
+// the variable and speaks the wire protocol on stdin/stdout instead of
+// running tests, giving the proc tests a worker command without
+// building a separate binary.
+const workerEnv = "L2FUZZ_FLEET_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnv) == "1" {
+		if err := RunWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// procConfig spawns workers by re-execing this test binary.
+func procConfig(procs int) ProcConfig {
+	return ProcConfig{
+		Procs:   procs,
+		Command: []string{os.Args[0]},
+		Env:     []string{workerEnv + "=1"},
+	}
+}
+
+// stripWorkers erases the worker attribution, the one JobResult field
+// that legitimately differs between executors.
+func stripWorkers(rep *Report) {
+	for i := range rep.Jobs {
+		rep.Jobs[i].Worker = ""
+	}
+}
+
+// TestLocalVsProcDeterminism is the tentpole's acceptance criterion:
+// the same matrix run through the in-process pool and through worker
+// subprocesses must produce byte-identical rendered reports and deeply
+// equal structures (wall times scrubbed, worker attribution stripped),
+// at one worker and at four.
+func TestLocalVsProcDeterminism(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		local, err := Run(journalMatrix(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(local.Findings) == 0 {
+			t.Fatal("matrix produced no findings; the comparison would be vacuous")
+		}
+		pcfg := journalMatrix(workers)
+		pcfg.Executor = NewProcExecutor(procConfig(workers))
+		proc, err := Run(pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range proc.Jobs {
+			if got := proc.Jobs[i].Worker; len(got) < 5 || got[:5] != "proc/" {
+				t.Fatalf("workers=%d: job %d attributed to %q, want a proc worker", workers, i, got)
+			}
+		}
+		local.ScrubWall()
+		proc.ScrubWall()
+		if l, p := local.Render(), proc.Render(); l != p {
+			t.Errorf("workers=%d: rendered reports differ:\nlocal:\n%s\nproc:\n%s", workers, l, p)
+		}
+		stripWorkers(local)
+		stripWorkers(proc)
+		if !reflect.DeepEqual(local, proc) {
+			t.Errorf("workers=%d: proc report differs from local:\nlocal: %+v\nproc:  %+v", workers, local, proc)
+		}
+	}
+}
+
+// TestProcFarmSurvivesWorkerKill kills one worker subprocess mid-run:
+// the farm must requeue whatever the worker was holding, degrade to the
+// survivor, and still account for every job with none failed. The
+// event stream must carry both worker-up events and both worker-down
+// events, the killed worker's with a reason.
+func TestProcFarmSurvivesWorkerKill(t *testing.T) {
+	cfg := journalMatrix(2)
+	exec := NewProcExecutor(procConfig(2))
+	cfg.Executor = exec
+	farm, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ups, downs, dirtyDowns int
+	killed := ""
+	for ev := range farm.Events() {
+		switch ev.Type {
+		case EventWorkerUp:
+			ups++
+		case EventWorkerDown:
+			downs++
+			if ev.WorkerErr != "" {
+				dirtyDowns++
+			}
+		case EventJobDone:
+			if killed == "" {
+				killed = exec.KillOne()
+				if killed == "" {
+					t.Fatal("KillOne found no live worker")
+				}
+			}
+		}
+	}
+	rep := farm.Wait()
+	total := len(buildJobs(mustDefaults(t, journalMatrix(2))))
+	if len(rep.Jobs) != total || rep.Completed+rep.Failed != total {
+		t.Fatalf("report accounts for %d jobs (%d completed, %d failed), matrix has %d",
+			len(rep.Jobs), rep.Completed, rep.Failed, total)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("%d jobs failed; a single worker kill must not lose jobs", rep.Failed)
+	}
+	if ups != 2 || downs != 2 {
+		t.Errorf("saw %d worker-up and %d worker-down events, want 2 and 2", ups, downs)
+	}
+	if dirtyDowns == 0 {
+		t.Errorf("no worker-down event carried an error; the kill of %s went unreported", killed)
+	}
+}
+
+func mustDefaults(t *testing.T, cfg Config) Config {
+	t.Helper()
+	out, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestProcCountersFoldBackExactly pins the telemetry satellite: a farm
+// run through subprocess workers must leave the coordinator's counter
+// set exactly equal to an in-process run's — job lifecycle counts tally
+// on the coordinator, traffic counts ship back in each result.
+func TestProcCountersFoldBackExactly(t *testing.T) {
+	lcfg := journalMatrix(2)
+	lcfg.Counters = &telemetry.Counters{}
+	if _, err := Run(lcfg); err != nil {
+		t.Fatal(err)
+	}
+	pcfg := journalMatrix(2)
+	pcfg.Counters = &telemetry.Counters{}
+	pcfg.Executor = NewProcExecutor(procConfig(2))
+	if _, err := Run(pcfg); err != nil {
+		t.Fatal(err)
+	}
+	ls, ps := lcfg.Counters.Snapshot(), pcfg.Counters.Snapshot()
+	if ls.Packets == 0 {
+		t.Fatal("local run counted no packets; the comparison would be vacuous")
+	}
+	if !reflect.DeepEqual(ls, ps) {
+		t.Errorf("proc counters differ from local:\nlocal: %+v\nproc:  %+v", ls, ps)
+	}
+}
+
+// TestProcCorpusMatchesLocal sends repro traces across the wire: a
+// corpus-backed proc farm must persist the same entries an in-process
+// one does.
+func TestProcCorpusMatchesLocal(t *testing.T) {
+	run := func(exec Executor) (*Report, []corpus.Entry) {
+		store, err := corpus.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := corpusMatrix(2, store)
+		cfg.Executor = exec
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := store.Entries()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, entries
+	}
+	localRep, localEntries := run(nil)
+	procRep, procEntries := run(NewProcExecutor(procConfig(2)))
+	if len(localEntries) == 0 {
+		t.Fatal("local run persisted no corpus entries; the comparison would be vacuous")
+	}
+	if !reflect.DeepEqual(localEntries, procEntries) {
+		t.Errorf("proc corpus differs from local:\nlocal: %+v\nproc:  %+v", localEntries, procEntries)
+	}
+	localRep.ScrubWall()
+	procRep.ScrubWall()
+	stripWorkers(localRep)
+	stripWorkers(procRep)
+	if !reflect.DeepEqual(localRep, procRep) {
+		t.Errorf("proc corpus report differs from local:\nlocal: %+v\nproc:  %+v", localRep, procRep)
+	}
+}
+
+// TestProcJobDeadline drives every job into its deadline: the executor
+// kills the worker holding it, retries burn through the remaining
+// workers, and once none are left the farm fails the rest immediately
+// instead of hanging.
+func TestProcJobDeadline(t *testing.T) {
+	cfg := journalMatrix(2)
+	pc := procConfig(2)
+	pc.JobDeadline = time.Millisecond
+	cfg.Executor = NewProcExecutor(pc)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(buildJobs(mustDefaults(t, journalMatrix(2))))
+	if len(rep.Jobs) != total || rep.Completed+rep.Failed != total {
+		t.Fatalf("report accounts for %d jobs (%d completed, %d failed), matrix has %d",
+			len(rep.Jobs), rep.Completed, rep.Failed, total)
+	}
+	if rep.Failed == 0 {
+		t.Error("a 1ms deadline failed no jobs; the deadline path went unexercised")
+	}
+}

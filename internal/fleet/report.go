@@ -25,6 +25,11 @@ type Occurrence struct {
 type JobResult struct {
 	// Job identifies the matrix cell and shard.
 	Job Job
+	// Worker identifies the executor worker that ran the job:
+	// LocalWorkerID for the in-process pool, "proc/<i>" for subprocess
+	// workers. Informational — reports render identically across
+	// executors.
+	Worker string
 	// Err records a job failure; the other fields are partial when set.
 	Err error
 	// PacketsSent counts the job's transmitted packets (frames for

@@ -24,10 +24,11 @@ func newRig(cfg Config, eng Engine, job Job) (*testbed.Rig, error) {
 		TesterName:   "farm-worker",
 		Counters:     cfg.Counters,
 	}
-	if cfg.Corpus != nil && eng.ProducesFindings() {
-		// Corpus-backed farms record the repro traces of every job
-		// that can contribute findings (the baseline kinds never do,
-		// so recording them would only hold wire buffers for nothing).
+	if cfg.recordTraces() && eng.ProducesFindings() {
+		// Corpus-backed farms — and proc workers executing for one —
+		// record the repro traces of every job that can contribute
+		// findings (the baseline kinds never do, so recording them
+		// would only hold wire buffers for nothing).
 		// This limit is an estimate from the job's unresolved budget;
 		// each engine raises it (ensureTraceLimit) once its variant
 		// hooks have resolved the real traffic cap. A trace that still

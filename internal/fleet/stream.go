@@ -1,6 +1,9 @@
 package fleet
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -8,9 +11,11 @@ import (
 // EventType discriminates farm events.
 type EventType int
 
-// The farm event types, in the order a single job emits them.
+// The farm event types, in the order a single job emits them, followed
+// by the executor worker lifecycle events.
 const (
-	// EventJobStarted fires when a worker picks a job off the feed.
+	// EventJobStarted fires when a dispatcher picks a job off the feed
+	// (again on every retry of a requeued job).
 	EventJobStarted EventType = iota + 1
 	// EventJobDone fires after a job's result is folded into the
 	// aggregate; Event.Result carries it.
@@ -19,6 +24,15 @@ const (
 	// finding signature the farm had not seen before that job;
 	// Event.Finding carries the farm-wide record as of that moment.
 	EventNewFinding
+	// EventWorkerUp fires once per executor worker before any job
+	// event; Event.Worker names it. Only executors with identifiable
+	// workers (ProcExecutor) emit lifecycle events — the in-process
+	// pool's event stream is unchanged from pre-executor farms.
+	EventWorkerUp
+	// EventWorkerDown fires when an executor worker retires — cleanly
+	// at farm shutdown (empty Event.WorkerErr) or because it died
+	// mid-run (WorkerErr says why; the farm requeues the lost job).
+	EventWorkerDown
 )
 
 func (t EventType) String() string {
@@ -29,6 +43,10 @@ func (t EventType) String() string {
 		return "JobDone"
 	case EventNewFinding:
 		return "NewFinding"
+	case EventWorkerUp:
+		return "WorkerUp"
+	case EventWorkerDown:
+		return "WorkerDown"
 	default:
 		return "Unknown"
 	}
@@ -44,81 +62,130 @@ type Event struct {
 	Time time.Time
 	// Job is the matrix cell the event concerns; Job.Variant names the
 	// configuration variant it ran under, so a streaming consumer can
-	// attribute progress and findings along the variant axis.
+	// attribute progress and findings along the variant axis. Zero for
+	// worker lifecycle events.
 	Job Job
 	// Result is the job's outcome; EventJobDone only.
 	Result *JobResult
 	// Finding is the new de-duplicated finding; EventNewFinding only.
 	Finding *FindingRecord
+	// Worker is the executor worker id; EventWorkerUp/Down only.
+	Worker string
+	// WorkerErr is why a worker went down ("" for a clean shutdown);
+	// EventWorkerDown only.
+	WorkerErr string
 	// Done and Total report farm progress at emission time: completed
 	// jobs so far versus matrix size.
 	Done, Total int
 }
 
-// Farm is a running fuzzing farm: the worker pool executes the job
-// matrix while the farm emits Events and keeps a live aggregate that
-// can be snapshotted at any moment.
+// maxJobAttempts bounds how many times one job is tried across worker
+// transport failures before the farm records it as failed. Three
+// attempts absorb a crashed worker plus an unlucky reassignment without
+// letting a job that kills every worker it touches starve the farm.
+const maxJobAttempts = 3
+
+// Farm is a running fuzzing farm: dispatchers drive the job matrix
+// through the configured Executor while the farm emits Events and keeps
+// a live aggregate that can be snapshotted at any moment.
 //
 // The consumer contract: drain Events() — the channel is unbuffered,
-// so workers pause at emission until the consumer keeps up, and the
+// so dispatchers pause at emission until the consumer keeps up, and the
 // stream closes once every job is done. Wait drains whatever the
 // consumer has not read, so "start, range over Events, Wait" and
 // "start, Wait" both terminate.
 type Farm struct {
 	cfg    Config
+	exec   Executor
 	total  int
 	agg    *Aggregator
 	events chan Event
+	feed   chan Job
 	start  time.Time
 
 	// emitMu serializes fold-and-emit so event order, Done counts and
 	// the aggregate all advance consistently.
 	emitMu sync.Mutex
 	done   int
+
+	// retryMu guards the per-job transport-failure counts.
+	retryMu  sync.Mutex
+	attempts map[int]int
 }
 
-// Start validates the matrix and launches the farm: cfg.Workers workers
-// over the job matrix, results folded into a live Aggregator as they
-// arrive. The error covers matrix validation only.
+// Start validates the matrix and launches the farm: the executor is
+// started (spawning worker subprocesses under ProcExecutor), the job
+// matrix is dispatched from cfg.Workers dispatcher goroutines, and
+// results fold into a live Aggregator as they arrive. The error covers
+// matrix validation and executor startup only.
 func Start(cfg Config) (*Farm, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	jobs := buildJobs(cfg)
+	exec := cfg.Executor
+	if exec == nil {
+		exec = &LocalExecutor{}
+	}
 	f := &Farm{
-		cfg:    cfg,
-		total:  len(jobs),
-		agg:    newAggregator(cfg, len(jobs)),
-		events: make(chan Event),
-		start:  time.Now(),
+		cfg:      cfg,
+		exec:     exec,
+		total:    len(jobs),
+		agg:      newAggregator(cfg, len(jobs)),
+		events:   make(chan Event),
+		start:    time.Now(),
+		attempts: make(map[int]int),
+	}
+	if n, ok := exec.(workerNotifier); ok {
+		n.setNotify(f.emitWorker)
+	}
+	if err := exec.Start(cfg); err != nil {
+		return nil, err
 	}
 
 	f.journalHeader(jobs)
 
-	feed := make(chan Job)
+	// The feed holds the whole matrix, so requeueing a job a worker
+	// died under never blocks: occupancy is bounded by the matrix size
+	// (every requeued job was popped first).
+	f.feed = make(chan Job, len(jobs))
+	for _, j := range jobs {
+		f.feed <- j
+	}
+	if f.total == 0 {
+		close(f.feed)
+	}
+
+	// Worker-up events precede every job event: dispatchers hold until
+	// the ups are out.
+	upsDone := make(chan struct{})
+	var ups []string
+	if r, ok := exec.(workerReporter); ok {
+		ups = r.workerIDs()
+	}
+	go func() {
+		for _, id := range ups {
+			f.emitWorker(WorkerEvent{Worker: id, Up: true})
+		}
+		close(upsDone)
+	}()
+
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for job := range feed {
-				f.emitStarted(job)
-				start := time.Now()
-				res := runJob(cfg, job)
-				res.Wall = time.Since(start)
-				f.finish(res)
-			}
+			<-upsDone
+			f.dispatch()
 		}()
 	}
 	go func() {
-		for _, j := range jobs {
-			feed <- j
-		}
-		close(feed)
-	}()
-	go func() {
 		wg.Wait()
+		// Closing the executor retires its workers; their clean
+		// worker-down events are emitted from inside Close, before the
+		// stream ends.
+		exec.Close()
 		close(f.events)
 	}()
 	return f, nil
@@ -127,6 +194,44 @@ func Start(cfg Config) (*Farm, error) {
 // Events returns the farm's progress stream. The channel closes after
 // the last job's events are delivered.
 func (f *Farm) Events() <-chan Event { return f.events }
+
+// dispatch feeds jobs through the executor until the matrix is
+// exhausted. A transport failure requeues the job within its retry
+// budget; past it, the failure becomes the job's result.
+func (f *Farm) dispatch() {
+	for job := range f.feed {
+		f.emitStarted(job)
+		start := time.Now()
+		res, err := f.exec.Execute(context.Background(), job)
+		if err != nil {
+			if f.requeue(job, err) {
+				continue
+			}
+			res = JobResult{Job: job, Err: fmt.Errorf("executor: %w", err)}
+		}
+		res.Wall = time.Since(start)
+		f.finish(res)
+	}
+}
+
+// requeue returns a transport-failed job to the feed and reports
+// whether it did. A job out of attempts is not requeued, and neither is
+// any job once the executor is out of workers — a retry then could only
+// spin.
+func (f *Farm) requeue(job Job, err error) bool {
+	if errors.Is(err, ErrNoWorkers) {
+		return false
+	}
+	f.retryMu.Lock()
+	f.attempts[job.Index]++
+	n := f.attempts[job.Index]
+	f.retryMu.Unlock()
+	if n >= maxJobAttempts {
+		return false
+	}
+	f.feed <- job
+	return true
+}
 
 // emitStarted announces a job pick-up.
 func (f *Farm) emitStarted(job Job) {
@@ -139,7 +244,8 @@ func (f *Farm) emitStarted(job Job) {
 
 // finish folds one result and emits its JobDone and NewFinding events.
 // Journal records are written under emitMu, so their order matches the
-// event stream's.
+// event stream's. The last job to finish closes the feed, releasing the
+// dispatchers.
 func (f *Farm) finish(res JobResult) {
 	f.emitMu.Lock()
 	defer f.emitMu.Unlock()
@@ -153,6 +259,22 @@ func (f *Farm) finish(res JobResult) {
 		f.journalFinding(fresh[i], res.Job)
 		f.events <- Event{Type: EventNewFinding, Time: time.Now(), Job: res.Job, Finding: &fresh[i], Done: f.done, Total: f.total}
 	}
+	if f.done == f.total {
+		close(f.feed)
+	}
+}
+
+// emitWorker records one executor worker lifecycle change in the
+// journal and the event stream.
+func (f *Farm) emitWorker(ev WorkerEvent) {
+	f.emitMu.Lock()
+	defer f.emitMu.Unlock()
+	f.journalWorker(ev)
+	typ := EventWorkerDown
+	if ev.Up {
+		typ = EventWorkerUp
+	}
+	f.events <- Event{Type: typ, Time: time.Now(), Worker: ev.Worker, WorkerErr: ev.Err, Done: f.done, Total: f.total}
 }
 
 // Snapshot reports the farm's aggregate at this moment: completed jobs,
@@ -168,7 +290,7 @@ func (f *Farm) Snapshot() *Report {
 // consumer left unread — and returns the farm's final report.
 func (f *Farm) Wait() *Report {
 	for range f.events {
-		// Discard: aggregation happens on the worker side, so unread
+		// Discard: aggregation happens on the dispatcher side, so unread
 		// events carry no information the final snapshot lacks.
 	}
 	return f.Snapshot()

@@ -1,0 +1,120 @@
+// Package wire implements the framing the farm's process-isolated
+// executor speaks with its worker subprocesses: length-prefixed JSON
+// messages over a byte stream (the workers' stdin/stdout pipes).
+//
+// A frame is a 4-byte big-endian payload length followed by exactly
+// that many bytes of JSON. The length prefix makes message boundaries
+// explicit — a reader never depends on JSON self-termination, so a
+// worker that dies mid-message leaves a detectably truncated frame
+// instead of a silently mis-parsed one — and caps resource use: a
+// declared length above MaxFrame is rejected before any allocation.
+//
+// The package frames; it does not define the messages. The farm's
+// protocol structs (hello, farm config, job, result) live in the fleet
+// package next to the types they mirror, and their schema is pinned by
+// a golden test there.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds one frame's payload. Results carrying full repro
+// traces are the largest messages; at the library's default per-job
+// packet budget a trace stays well under a tenth of this.
+const MaxFrame = 64 << 20
+
+var (
+	// ErrFrameTooLarge reports a frame whose declared or actual payload
+	// exceeds MaxFrame. The check runs before the payload is read, so a
+	// corrupt length prefix cannot drive allocation.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	// ErrTruncated reports a stream that ended inside a frame — a
+	// partial length prefix or fewer payload bytes than declared. A
+	// stream ending cleanly between frames is io.EOF, not this.
+	ErrTruncated = errors.New("wire: truncated frame")
+)
+
+// headerSize is the length prefix width.
+const headerSize = 4
+
+// Encoder writes framed JSON messages to a stream. Each Encode issues
+// one Write, so a frame is never interleaved with other output on the
+// same descriptor. Not safe for concurrent use.
+type Encoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewEncoder returns an encoder framing onto w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Encode marshals v and writes it as one frame.
+func (e *Encoder) Encode(v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	e.buf = e.buf[:0]
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	e.buf = append(e.buf, hdr[:]...)
+	e.buf = append(e.buf, payload...)
+	if _, err := e.w.Write(e.buf); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
+}
+
+// Decoder reads framed JSON messages from a stream. Not safe for
+// concurrent use.
+type Decoder struct {
+	r       io.Reader
+	scratch bytes.Buffer
+}
+
+// NewDecoder returns a decoder reading frames from r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Decode reads the next frame and unmarshals it into v. A stream
+// ending cleanly between frames returns io.EOF; one ending inside a
+// frame returns ErrTruncated; a declared length above MaxFrame returns
+// ErrFrameTooLarge without reading the payload.
+func (d *Decoder) Decode(v any) error {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return ErrTruncated
+		}
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("%w: %d bytes declared", ErrFrameTooLarge, n)
+	}
+	// Copy through a growing buffer rather than allocating the declared
+	// length up front: the buffer grows only as payload bytes actually
+	// arrive, so a lying header costs nothing.
+	d.scratch.Reset()
+	if _, err := io.CopyN(&d.scratch, d.r, int64(n)); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ErrTruncated
+		}
+		return err
+	}
+	if err := json.Unmarshal(d.scratch.Bytes(), v); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"l2fuzz/internal/bt/device"
+	"l2fuzz/internal/bt/host"
+	"l2fuzz/internal/core"
+	"l2fuzz/internal/fleet/wire"
+	"l2fuzz/internal/metrics"
+	"l2fuzz/internal/telemetry"
+)
+
+// The worker wire protocol, spoken over a length-prefixed JSON framing
+// (internal/fleet/wire). A session is: worker sends wireHello,
+// coordinator answers with one wireFarm, then any number of wireJob →
+// wireResult exchanges until the coordinator closes the worker's stdin
+// (clean shutdown). The message structs below are the schema; a golden
+// test pins their field paths so drift is deliberate.
+//
+// wireVersion pins the protocol. Both sides refuse a peer speaking a
+// different version rather than mis-reading its frames.
+const wireVersion = 1
+
+// wireHello is the worker's opening message.
+type wireHello struct {
+	Version int `json:"version"`
+	PID     int `json:"pid"`
+}
+
+// wireFarm is the per-run farm configuration a worker needs: the knobs
+// of Config that affect job execution and are not already resolved into
+// the jobs themselves.
+type wireFarm struct {
+	Version          int  `json:"version"`
+	MeasurementGrade bool `json:"measurementGrade,omitempty"`
+	CampaignRuns     int  `json:"campaignRuns"`
+	// Record makes the worker's rigs record repro traces (the
+	// coordinator holds a corpus store the worker cannot see).
+	Record bool `json:"record,omitempty"`
+	// Counters makes the worker tally hot-path telemetry per job and
+	// ship the deltas back in each result.
+	Counters bool `json:"counters,omitempty"`
+}
+
+// wireJob is one job assignment. The resolved target spec travels
+// inline — specs are pure data since defects became declarative — so a
+// worker needs no target catalog of its own and custom targets work
+// unchanged. Variants cross by name only: behaviour hooks cannot cross
+// a process boundary, so the worker resolves predefined names via
+// VariantByName and treats unknown names as hook-less.
+type wireJob struct {
+	Index      int          `json:"index"`
+	Device     string       `json:"device"`
+	Spec       *device.Spec `json:"spec"`
+	Kind       Kind         `json:"kind"`
+	Variant    string       `json:"variant"`
+	Shard      int          `json:"shard"`
+	Seed       int64        `json:"seed"`
+	MaxPackets int          `json:"maxPackets"`
+}
+
+// wireOccurrence is one finding occurrence. The repro trace travels in
+// its own field: core.Finding excludes Trace from JSON (report
+// snapshots must not embed traces), but the coordinator's corpus store
+// needs the worker-recorded ops, so the wire carries them explicitly.
+type wireOccurrence struct {
+	Finding        core.Finding   `json:"finding"`
+	Trace          []host.TraceOp `json:"trace,omitempty"`
+	TraceTruncated bool           `json:"traceTruncated,omitempty"`
+	Count          int            `json:"count"`
+	Dump           string         `json:"dump,omitempty"`
+}
+
+// wireResult is one job's outcome, echoing the job index so the
+// coordinator can detect a desynchronized worker.
+type wireResult struct {
+	Index       int                        `json:"index"`
+	Err         string                     `json:"err,omitempty"`
+	PacketsSent int                        `json:"packetsSent"`
+	ElapsedNs   time.Duration              `json:"elapsedNs"`
+	Crashed     bool                       `json:"crashed,omitempty"`
+	Findings    []wireOccurrence           `json:"findings,omitempty"`
+	Summary     metrics.Summary            `json:"summary"`
+	Counters    *telemetry.CounterSnapshot `json:"counters,omitempty"`
+}
+
+// toWireJob strips a job to its wire form.
+func toWireJob(j Job) wireJob {
+	return wireJob{
+		Index:      j.Index,
+		Device:     j.Device,
+		Spec:       j.Spec,
+		Kind:       j.Kind,
+		Variant:    j.Variant,
+		Shard:      j.Shard,
+		Seed:       j.Seed,
+		MaxPackets: j.MaxPackets,
+	}
+}
+
+// fromWireResult rebuilds a JobResult on the coordinator side. job is
+// the coordinator's own Job (its Spec pointer stays pointer-identical
+// to the farm's target list, exactly as local execution leaves it), and
+// the worker-recorded traces are folded back into the findings so
+// corpus persistence works unchanged.
+func fromWireResult(wr wireResult, job Job, workerID string) JobResult {
+	res := JobResult{
+		Job:         job,
+		Worker:      workerID,
+		PacketsSent: wr.PacketsSent,
+		Elapsed:     wr.ElapsedNs,
+		Crashed:     wr.Crashed,
+		Summary:     wr.Summary,
+	}
+	if wr.Err != "" {
+		res.Err = errors.New(wr.Err)
+	}
+	for _, occ := range wr.Findings {
+		f := occ.Finding
+		f.Trace = occ.Trace
+		f.TraceTruncated = occ.TraceTruncated
+		res.Findings = append(res.Findings, Occurrence{Finding: f, Count: occ.Count, Dump: occ.Dump})
+	}
+	return res
+}
+
+// RunWorker runs the farm worker loop of a subprocess spawned by
+// ProcExecutor: speak the wire protocol on r/w (the process's
+// stdin/stdout), executing one job at a time until the coordinator
+// closes the job stream. A clean shutdown returns nil; a protocol or
+// transport failure returns the error (the coordinator sees the broken
+// pipe either way and retires the worker).
+func RunWorker(r io.Reader, w io.Writer) error {
+	enc := wire.NewEncoder(w)
+	dec := wire.NewDecoder(r)
+	if err := enc.Encode(wireHello{Version: wireVersion, PID: os.Getpid()}); err != nil {
+		return fmt.Errorf("fleet: worker hello: %w", err)
+	}
+	var fc wireFarm
+	if err := dec.Decode(&fc); err != nil {
+		return fmt.Errorf("fleet: worker farm config: %w", err)
+	}
+	if fc.Version != wireVersion {
+		return fmt.Errorf("fleet: coordinator speaks wire version %d, this worker version %d", fc.Version, wireVersion)
+	}
+	for {
+		var wj wireJob
+		if err := dec.Decode(&wj); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("fleet: worker read job: %w", err)
+		}
+		if err := enc.Encode(workerRun(fc, wj)); err != nil {
+			return fmt.Errorf("fleet: worker write result: %w", err)
+		}
+	}
+}
+
+// workerRun executes one wire job with a per-job config rebuilt from
+// the farm message, mirroring what runJob sees under local execution.
+func workerRun(fc wireFarm, wj wireJob) wireResult {
+	cfg := Config{
+		MeasurementGrade: fc.MeasurementGrade,
+		CampaignRuns:     fc.CampaignRuns,
+		Workers:          1,
+		forceRecord:      fc.Record,
+	}
+	if v, err := VariantByName(wj.Variant); err == nil {
+		cfg.Variants = []Variant{v}
+	}
+	// Unknown variant names resolve to the baseline hooks — the exact
+	// behaviour of a hook-less custom variant, whose only job-visible
+	// effect is the seed salt already baked into wj.Seed. Hook-carrying
+	// custom variants never reach a worker: ProcExecutor.Start rejects
+	// them.
+	var local *telemetry.Counters
+	if fc.Counters {
+		local = &telemetry.Counters{}
+		cfg.Counters = local
+	}
+	job := Job{
+		Index:      wj.Index,
+		Device:     wj.Device,
+		Spec:       wj.Spec,
+		Kind:       wj.Kind,
+		Variant:    wj.Variant,
+		Shard:      wj.Shard,
+		Seed:       wj.Seed,
+		MaxPackets: wj.MaxPackets,
+	}
+	res := runJob(cfg, job)
+	wr := wireResult{
+		Index:       wj.Index,
+		PacketsSent: res.PacketsSent,
+		ElapsedNs:   res.Elapsed,
+		Crashed:     res.Crashed,
+		Summary:     res.Summary,
+	}
+	if res.Err != nil {
+		wr.Err = res.Err.Error()
+	}
+	for _, occ := range res.Findings {
+		wr.Findings = append(wr.Findings, wireOccurrence{
+			Finding:        occ.Finding,
+			Trace:          occ.Finding.Trace,
+			TraceTruncated: occ.Finding.TraceTruncated,
+			Count:          occ.Count,
+			Dump:           occ.Dump,
+		})
+	}
+	if local != nil {
+		s := local.Snapshot()
+		wr.Counters = &s
+	}
+	return wr
+}

@@ -13,7 +13,7 @@ import (
 
 // headsetConfig builds a device with a pairing-free RFCOMM port and an
 // optional mux defect.
-func headsetConfig(defect rfcomm.MuxDefect) device.Config {
+func headsetConfig(defect *rfcomm.MuxDefect) device.Config {
 	return device.Config{
 		Addr:    radio.MustBDAddr("8C:F5:A3:00:00:42"),
 		Name:    "sim-headset",

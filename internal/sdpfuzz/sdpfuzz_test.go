@@ -11,7 +11,7 @@ import (
 
 // targetConfig builds a device whose SDP server carries the given
 // defect; the implicit SDP port is enough surface.
-func targetConfig(defect sdp.ServerDefect) device.Config {
+func targetConfig(defect *sdp.ServerDefect) device.Config {
 	return device.Config{
 		Addr:      radio.MustBDAddr("8C:F5:A3:00:00:51"),
 		Name:      "sim-speaker",

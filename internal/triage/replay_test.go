@@ -29,8 +29,10 @@ func gpfOverrun() device.VulnSpec {
 		Class:       device.ClassCrash,
 		Dump:        device.DumpGPFault,
 		FaultFunc:   "l2cap_parse_conf_req+0x1f4/0x5a0 [bluetooth]",
-		Trigger: func(ctx device.TriggerContext) bool {
-			return ctx.Code == l2cap.CodeConfigurationReq && !ctx.KnownCID && len(ctx.Tail) > 0
+		Trigger: device.TriggerSpec{
+			Kind:     device.TriggerOptionOverrunGPF,
+			MinTail:  1,
+			MatchAll: true,
 		},
 	}
 }

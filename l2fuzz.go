@@ -202,6 +202,23 @@ type (
 	// FleetCorpusStats summarises a corpus-backed farm's store
 	// interaction (new traces saved, known signatures recognised).
 	FleetCorpusStats = fleet.CorpusStats
+	// FleetExecutor is the transport a farm drives its jobs through:
+	// the in-process pool (FleetLocalExecutor, the default) or worker
+	// subprocesses (FleetProcExecutor). Wire one into a farm via
+	// FleetConfig.Executor; both transports produce identical reports.
+	FleetExecutor = fleet.Executor
+	// FleetLocalExecutor runs farm jobs in-process on the dispatcher
+	// goroutines — the default when FleetConfig.Executor is nil.
+	FleetLocalExecutor = fleet.LocalExecutor
+	// FleetProcExecutor runs farm jobs in worker subprocesses speaking a
+	// length-prefixed JSON protocol over their stdin/stdout. A crashed
+	// or deadline-blown worker is retired and its job requeued; the farm
+	// degrades to the surviving workers.
+	FleetProcExecutor = fleet.ProcExecutor
+	// FleetProcConfig parameterises a FleetProcExecutor: worker count,
+	// the worker command (defaults to re-executing this binary with
+	// "-worker"), extra environment and an optional per-job deadline.
+	FleetProcConfig = fleet.ProcConfig
 	// FindingSignature is the shared (state, port, error-class) triple
 	// findings de-duplicate by — within a campaign, across a farm, and
 	// across runs in a corpus store.
@@ -270,6 +287,12 @@ const (
 	// FleetNewFinding fires for every finding signature the farm had
 	// not seen before.
 	FleetNewFinding = fleet.EventNewFinding
+	// FleetWorkerUp fires once per executor worker before any job
+	// event (executors with identifiable workers only).
+	FleetWorkerUp = fleet.EventWorkerUp
+	// FleetWorkerDown fires when an executor worker retires — cleanly
+	// at shutdown, or mid-run with the reason in Event.WorkerErr.
+	FleetWorkerDown = fleet.EventWorkerDown
 )
 
 // The schedulable farm job kinds: the paper's four compared fuzzers,
@@ -326,6 +349,22 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 // must drain Events (or call Wait, which drains the rest).
 func StartFleet(cfg FleetConfig) (*FleetFarm, error) {
 	return fleet.Start(cfg)
+}
+
+// NewFleetProcExecutor builds a process-isolated farm executor: Start
+// spawns the worker subprocesses, each job travels to an idle worker as
+// length-prefixed JSON and its result (findings, metrics, telemetry
+// deltas) travels back. Pass it via FleetConfig.Executor.
+func NewFleetProcExecutor(pc FleetProcConfig) *FleetProcExecutor {
+	return fleet.NewProcExecutor(pc)
+}
+
+// RunFleetWorker speaks the farm worker protocol on r and w — the
+// entry point a worker subprocess calls on its stdin/stdout when
+// spawned by a FleetProcExecutor (cmd/l2farm wires it to -worker). It
+// returns nil when the coordinator closes the job stream.
+func RunFleetWorker(r io.Reader, w io.Writer) error {
+	return fleet.RunWorker(r, w)
 }
 
 // OpenCorpus opens (creating if needed) a persistent finding corpus in
