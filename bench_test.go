@@ -6,6 +6,7 @@
 package l2fuzz_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -314,10 +315,70 @@ func TestBenchSnapshot(t *testing.T) {
 		row.Name = bc.name
 		row.Workers = bc.workers
 		row.Telemetry = bc.telemetry
+		// Proc rows fuzz in worker subprocesses, so the parent's MemStats
+		// deltas cover only orchestration; mark them so renderers don't
+		// present the number as the farm's allocation cost.
+		row.ParentOnly = bc.proc
 		rows = append(rows, row)
 	}
 	if err := l2fuzz.WriteBenchSnapshot(path, l2fuzz.NewBenchSnapshot("BenchmarkFleet", rows)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// allocBudget mirrors ALLOC_BUDGET.json: the committed ceiling on the
+// packet path's allocation cost, enforced by TestAllocBudget.
+type allocBudget struct {
+	// Bench names the guarded configuration, for the error message.
+	Bench string `json:"bench"`
+	// MaxAllocsPerOp and MaxMBPerOp are the ceilings one benchmark op
+	// (one full fleet run) must stay under.
+	MaxAllocsPerOp int64   `json:"maxAllocsPerOp"`
+	MaxMBPerOp     float64 `json:"maxMBPerOp"`
+}
+
+// TestAllocBudget is the allocation-regression gate: it benchmarks the
+// workers=4 fleet configuration with allocation reporting and fails if
+// allocs/op or MB/op exceeds the committed ALLOC_BUDGET.json, so the
+// allocation tail PR 9 reclaimed cannot silently grow back.
+//
+//	ALLOC_GATE=1 go test -run TestAllocBudget .
+//
+// Skipped without ALLOC_GATE=1 (the run costs a few fleet executions);
+// CI always sets it.
+func TestAllocBudget(t *testing.T) {
+	if os.Getenv("ALLOC_GATE") == "" {
+		t.Skip("set ALLOC_GATE=1 to run the allocation-regression gate")
+	}
+	data, err := os.ReadFile("ALLOC_BUDGET.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budget allocBudget
+	if err := json.Unmarshal(data, &budget); err != nil {
+		t.Fatalf("ALLOC_BUDGET.json: %v", err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			report, err := fleetBenchRun(4, false, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if report.Failed > 0 {
+				b.Fatalf("%d jobs failed", report.Failed)
+			}
+		}
+	})
+	allocs := res.AllocsPerOp()
+	mb := float64(res.AllocedBytesPerOp()) / 1e6
+	t.Logf("%s: %d allocs/op (budget %d), %.1f MB/op (budget %.1f)",
+		budget.Bench, allocs, budget.MaxAllocsPerOp, mb, budget.MaxMBPerOp)
+	if allocs > budget.MaxAllocsPerOp {
+		t.Errorf("allocs/op regression: %d > budget %d", allocs, budget.MaxAllocsPerOp)
+	}
+	if mb > budget.MaxMBPerOp {
+		t.Errorf("MB/op regression: %.1f > budget %.1f", mb, budget.MaxMBPerOp)
 	}
 }
 

@@ -8,15 +8,25 @@
 //	benchtab -exp tableVI [-seed 11]
 //	benchtab -exp tableVII [-packets 100000]
 //	benchtab -exp fig8 | fig9 | fig10 | fig11
+//	benchtab -exp trajectory [-benchdir .]
 //	benchtab -exp all
+//
+// The trajectory experiment is not part of the paper: it renders the
+// repo's own cross-PR performance trajectory from every committed
+// BENCH_<pr>.json snapshot (pkts/s, MB/op, allocs/op and deltas per PR).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 
 	"l2fuzz/internal/harness"
+	"l2fuzz/internal/telemetry"
 )
 
 func main() {
@@ -28,9 +38,10 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: tableV, tableVI, tableVII, fig8, fig9, fig10, fig11, all")
-		seed    = flag.Int64("seed", 11, "random seed")
-		packets = flag.Int("packets", 100_000, "per-fuzzer packet budget for the comparison experiments")
+		exp      = flag.String("exp", "all", "experiment: tableV, tableVI, tableVII, fig8, fig9, fig10, fig11, trajectory, all")
+		seed     = flag.Int64("seed", 11, "random seed")
+		packets  = flag.Int("packets", 100_000, "per-fuzzer packet budget for the comparison experiments")
+		benchdir = flag.String("benchdir", ".", "directory holding BENCH_<pr>.json snapshots for -exp trajectory")
 	)
 	flag.Parse()
 
@@ -41,6 +52,15 @@ func run() error {
 		}
 	}
 	ran := false
+
+	if run["trajectory"] {
+		out, err := renderTrajectory(*benchdir)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		ran = true
+	}
 
 	if run["tableV"] {
 		fmt.Println(harness.RenderTableV(harness.TableV()))
@@ -103,4 +123,39 @@ func run() error {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 	return nil
+}
+
+// renderTrajectory loads every BENCH_<pr>.json under dir, sorted by PR
+// number, and renders the cross-PR performance table.
+func renderTrajectory(dir string) (string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	type entry struct {
+		pr   int
+		path string
+	}
+	var entries []entry
+	for _, p := range paths {
+		label := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+		pr, err := strconv.Atoi(label)
+		if err != nil {
+			continue // not a BENCH_<pr>.json snapshot
+		}
+		entries = append(entries, entry{pr: pr, path: p})
+	}
+	if len(entries) == 0 {
+		return "", fmt.Errorf("no BENCH_<pr>.json snapshots under %s", dir)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].pr < entries[j].pr })
+	var snaps []telemetry.TrajectorySnapshot
+	for _, e := range entries {
+		s, err := telemetry.ReadBenchSnapshot(e.path)
+		if err != nil {
+			return "", err
+		}
+		snaps = append(snaps, telemetry.TrajectorySnapshot{Label: strconv.Itoa(e.pr), Snapshot: s})
+	}
+	return telemetry.RenderBenchTrajectory(snaps), nil
 }

@@ -17,7 +17,9 @@
 // entry in parallel and exits nonzero if any signature stops
 // reproducing — wired into CI, yesterday's findings stay reproducible
 // on today's code or the build fails. -jobs bounds the replay
-// parallelism (0 = GOMAXPROCS).
+// parallelism (0 = GOMAXPROCS). With -minimize the gate is stricter:
+// every reproducing witness must also still delta-debug to a minimal
+// trace, so a minimizer/replayer divergence fails the build as well.
 //
 // Entries recorded against catalog devices ("D1".."D8") rebuild their
 // target automatically; entries recorded against custom targets need
@@ -30,7 +32,7 @@
 //	l2repro -corpus DIR [-device-file spec.json] [-dump] replay KEY
 //	l2repro -corpus DIR [-device-file spec.json] [-write] [-max-replays N] minimize KEY
 //	l2repro -corpus DIR [-device-file spec.json] triage KEY
-//	l2repro -corpus DIR [-device-file spec.json] [-jobs N] regress
+//	l2repro -corpus DIR [-device-file spec.json] [-jobs N] [-minimize] regress
 //
 // Examples:
 //
@@ -65,8 +67,9 @@ func run() error {
 		deviceFile = flag.String("device-file", "", "JSON target spec for entries recorded against a custom (non-catalog) target")
 		dump       = flag.Bool("dump", false, "replay: print the reproduced crash artefact")
 		write      = flag.Bool("write", false, "minimize: store the minimized trace back into the corpus")
-		maxReplays = flag.Int("max-replays", 0, "minimize: cap verification replays (0 = library default)")
+		maxReplays = flag.Int("max-replays", 0, "minimize/regress -minimize: cap verification replays (0 = library default)")
 		jobs       = flag.Int("jobs", 0, "regress: parallel replay workers (0 = GOMAXPROCS)")
+		regressMin = flag.Bool("minimize", false, "regress: additionally require every witness to still minimize")
 	)
 	flag.Parse()
 	if *corpusDir == "" {
@@ -106,7 +109,7 @@ func run() error {
 		if len(args) != 0 {
 			return fmt.Errorf("regress takes no arguments")
 		}
-		return regress(store, rcfg, *jobs)
+		return regress(store, rcfg, *jobs, *regressMin, *maxReplays)
 	}
 	if len(args) != 1 {
 		return fmt.Errorf("%s takes exactly one signature key (see: l2repro -corpus %s list)", cmd, *corpusDir)
@@ -151,9 +154,13 @@ func list(store *l2fuzz.CorpusStore) error {
 
 // regress replays every stored entry on a bounded worker pool and
 // fails if any signature stops reproducing — the corpus as a CI
-// regression gate. Output follows the store's listing order regardless
-// of replay scheduling.
-func regress(store *l2fuzz.CorpusStore, rcfg l2fuzz.CorpusReplayConfig, jobs int) error {
+// regression gate. With minimize set, each reproducing entry must
+// additionally survive delta-debugging: an entry whose minimization
+// errors out fails the gate too (a witness that reproduces but can no
+// longer be minimized usually means the replay path and the minimizer
+// disagree about the trace). Output follows the store's listing order
+// regardless of replay scheduling.
+func regress(store *l2fuzz.CorpusStore, rcfg l2fuzz.CorpusReplayConfig, jobs int, minimize bool, maxReplays int) error {
 	entries, err := store.Entries()
 	if err != nil {
 		return err
@@ -166,8 +173,10 @@ func regress(store *l2fuzz.CorpusStore, rcfg l2fuzz.CorpusReplayConfig, jobs int
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	type outcome struct {
-		res *l2fuzz.CorpusReplayResult
-		err error
+		res    *l2fuzz.CorpusReplayResult
+		err    error
+		min    *l2fuzz.CorpusMinimizeResult
+		minErr error
 	}
 	outcomes := make([]outcome, len(entries))
 	sem := make(chan struct{}, jobs)
@@ -179,7 +188,14 @@ func regress(store *l2fuzz.CorpusStore, rcfg l2fuzz.CorpusReplayConfig, jobs int
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			res, err := l2fuzz.ReplayCorpusEntry(e, rcfg)
-			outcomes[i] = outcome{res, err}
+			o := outcome{res: res, err: err}
+			if minimize && err == nil && res.Reproduced {
+				o.min, o.minErr = l2fuzz.MinimizeCorpusEntry(e, l2fuzz.CorpusMinimizeConfig{
+					ReplayConfig: rcfg,
+					MaxReplays:   maxReplays,
+				})
+			}
+			outcomes[i] = o
 		}()
 	}
 	wg.Wait()
@@ -193,6 +209,12 @@ func regress(store *l2fuzz.CorpusStore, rcfg l2fuzz.CorpusReplayConfig, jobs int
 		case !o.res.Reproduced:
 			failed++
 			fmt.Printf("  FAIL %-45s recorded %s, observed %s\n", key, e.Signature, o.res.Signature)
+		case o.minErr != nil:
+			failed++
+			fmt.Printf("  FAIL %-45s reproduces but no longer minimizes: %v\n", key, o.minErr)
+		case o.min != nil:
+			fmt.Printf("  ok   %-45s %s (minimal witness: %d -> %d ops)\n",
+				key, e.Signature, o.min.Before, o.min.After)
 		default:
 			fmt.Printf("  ok   %-45s %s\n", key, e.Signature)
 		}

@@ -67,6 +67,14 @@ type Device struct {
 	// cites Frankenstein for. Keys are command names plus the data-plane
 	// handlers ("SDP", "RFCOMM").
 	handlerHits map[string]int
+
+	// Reused scratch state for the steady-state receive/respond path.
+	// The device never receives while mid-send (the client's receive
+	// callback only enqueues), so one of each per device suffices.
+	dec       l2cap.Decoder
+	sigFrames []l2cap.Frame // AppendSignals scratch in onSignaling
+	sigWire   []byte        // signaling payload built by sendCmd
+	txWire    []byte        // wire bytes of the frame being sent
 }
 
 type channel struct {
@@ -235,7 +243,10 @@ func (d *Device) onL2CAP(h hci.ConnHandle, peer radio.BDAddr, raw []byte) {
 	if d.poweredOff || d.serviceDown {
 		return
 	}
-	pkt, err := l2cap.UnmarshalPacket(raw)
+	// The frame is a borrow from the controller, valid until this
+	// handler returns; every response below is marshaled before then,
+	// so the zero-copy parse is safe.
+	pkt, err := l2cap.ParsePacket(raw)
 	if err != nil {
 		return // undecodable basic frames are dropped
 	}
@@ -317,7 +328,8 @@ func (d *Device) onSignaling(h hci.ConnHandle, pkt l2cap.Packet) {
 		d.sendCmd(h, 0, l2cap.NewMTUExceededReject(d.cfg.Profile.SignalingMTU), nil)
 		return
 	}
-	frames, err := l2cap.ParseSignals(pkt.Payload)
+	frames, err := l2cap.AppendSignals(d.sigFrames[:0], pkt.Payload)
+	d.sigFrames = frames[:0]
 	if err != nil {
 		d.sendCmd(h, 0, &l2cap.CommandReject{Reason: l2cap.RejectNotUnderstood}, nil)
 		return
@@ -332,7 +344,7 @@ func (d *Device) onSignaling(h hci.ConnHandle, pkt l2cap.Packet) {
 
 // handleCommand dispatches one decoded signaling command.
 func (d *Device) handleCommand(h hci.ConnHandle, f l2cap.Frame) {
-	cmd, err := l2cap.DecodeCommand(f)
+	cmd, err := d.dec.Decode(f)
 	if err != nil {
 		d.handlerHits["undecodable"]++
 		d.sendCmd(h, f.Identifier, &l2cap.CommandReject{Reason: l2cap.RejectNotUnderstood}, nil)
@@ -795,13 +807,21 @@ func (d *Device) sendCmd(h hci.ConnHandle, id uint8, cmd l2cap.Command, tail []b
 	if id == 0 {
 		id = d.sigID()
 	}
-	d.send(h, l2cap.SignalPacket(id, cmd, tail))
+	payload, declared := l2cap.AppendSignalFrame(d.sigWire[:0], id, cmd, tail)
+	d.sigWire = payload
+	d.send(h, l2cap.Packet{
+		Length:    uint16(min(declared, l2cap.MaxPayload)),
+		ChannelID: l2cap.CIDSignaling,
+		Payload:   payload,
+	})
 }
 
 func (d *Device) send(h hci.ConnHandle, pkt l2cap.Packet) {
 	// Send failures mean the link died mid-conversation; the device,
-	// like real hardware, just moves on.
-	_ = d.ctrl.SendL2CAP(h, pkt.Marshal())
+	// like real hardware, just moves on. The frame is marshaled into a
+	// reused scratch buffer, fully delivered before the next send.
+	d.txWire = pkt.AppendTo(d.txWire[:0])
+	_ = d.ctrl.SendL2CAP(h, d.txWire)
 }
 
 func hasEFSOption(opts []l2cap.ConfigOption) bool {

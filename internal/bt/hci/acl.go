@@ -70,20 +70,39 @@ type ACLPacket struct {
 	Data []byte
 }
 
-// Marshal encodes the ACL packet.
+// Marshal encodes the ACL packet into a fresh buffer. Hot paths use
+// AppendTo with a reused scratch buffer instead.
 func (p ACLPacket) Marshal() []byte {
-	buf := make([]byte, ACLHeaderSize+len(p.Data))
+	return p.AppendTo(make([]byte, 0, ACLHeaderSize+len(p.Data)))
+}
+
+// AppendTo appends the wire form of the ACL packet to dst and returns the
+// extended slice: the allocation-free marshal of the fragment hot path.
+func (p ACLPacket) AppendTo(dst []byte) []byte {
+	var hdr [ACLHeaderSize]byte
 	hf := uint16(p.Handle)&0x0FFF |
 		uint16(p.Boundary&0b11)<<12 |
 		uint16(p.Broadcast&0b11)<<14
-	binary.LittleEndian.PutUint16(buf[0:2], hf)
-	binary.LittleEndian.PutUint16(buf[2:4], uint16(len(p.Data)))
-	copy(buf[ACLHeaderSize:], p.Data)
-	return buf
+	binary.LittleEndian.PutUint16(hdr[0:2], hf)
+	binary.LittleEndian.PutUint16(hdr[2:4], uint16(len(p.Data)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, p.Data...)
 }
 
-// UnmarshalACL decodes one ACL packet, copying the payload.
+// UnmarshalACL decodes one ACL packet, copying the payload. The caller
+// keeps ownership of raw; decode loops use ParseACL instead.
 func UnmarshalACL(raw []byte) (ACLPacket, error) {
+	p, err := ParseACL(raw)
+	if err != nil {
+		return ACLPacket{}, err
+	}
+	p.Data = append([]byte(nil), p.Data...)
+	return p, nil
+}
+
+// ParseACL decodes one ACL packet without copying: the returned packet's
+// Data aliases raw (borrow semantics) and is valid only while raw is.
+func ParseACL(raw []byte) (ACLPacket, error) {
 	if len(raw) < ACLHeaderSize {
 		return ACLPacket{}, fmt.Errorf("%w: got %d bytes", ErrShortACL, len(raw))
 	}
@@ -93,13 +112,12 @@ func UnmarshalACL(raw []byte) (ACLPacket, error) {
 	if declared != len(body) {
 		return ACLPacket{}, fmt.Errorf("%w: declared %d, got %d", ErrACLLength, declared, len(body))
 	}
-	p := ACLPacket{
+	return ACLPacket{
 		Handle:    ConnHandle(hf & 0x0FFF),
 		Boundary:  BoundaryFlag(hf >> 12 & 0b11),
 		Broadcast: uint8(hf >> 14 & 0b11),
-		Data:      append([]byte(nil), body...),
-	}
-	return p, nil
+		Data:      body,
+	}, nil
 }
 
 // Fragment splits one complete L2CAP frame into ACL packets no larger
@@ -141,13 +159,24 @@ type Reassembler struct {
 // the frame (garbage tails are part of the payload the paper's mutation
 // produces), so completion is decided by "at least header+declared bytes
 // and the fragment stream says first-fragment boundaries start frames".
+//
+// The returned frame is a borrow — it aliases either p.Data (when the
+// frame completed in a single first fragment) or the reassembler's
+// internal buffer — and is valid only until the next Push on this
+// reassembler or until p.Data's own lifetime ends, whichever comes first.
+// Callers that retain the frame must copy.
 func (r *Reassembler) Push(p ACLPacket) (frame []byte, done bool, err error) {
 	switch p.Boundary {
 	case BoundaryFirstFlushable:
-		if r.active && len(r.buf) > 0 {
-			// Previous frame was cut short; discard it.
+		if frameComplete(p.Data) {
+			// Fast path: the whole L2CAP frame fits in this fragment, so
+			// hand it back without staging it through the buffer.
 			r.buf = r.buf[:0]
+			r.active = false
+			return p.Data, true, nil
 		}
+		// Starting a new frame implicitly discards any cut-short
+		// predecessor still in the buffer.
 		r.active = true
 		r.buf = append(r.buf[:0], p.Data...)
 	case BoundaryContinuation:
@@ -158,17 +187,22 @@ func (r *Reassembler) Push(p ACLPacket) (frame []byte, done bool, err error) {
 	default:
 		return nil, false, fmt.Errorf("%w: unexpected boundary flag %d", ErrReassembly, p.Boundary)
 	}
-	if len(r.buf) < 4 {
-		return nil, false, nil
-	}
-	declared := int(binary.LittleEndian.Uint16(r.buf[0:2]))
-	if len(r.buf) < 4+declared {
+	if !frameComplete(r.buf) {
 		return nil, false, nil
 	}
 	// Complete. Tails (bytes beyond declared) are included: the sender
 	// marked them part of this frame by not starting a new first-fragment.
-	out := append([]byte(nil), r.buf...)
-	r.buf = r.buf[:0]
+	// The buffer is handed out as a borrow; the next first fragment
+	// reclaims it.
 	r.active = false
-	return out, true, nil
+	return r.buf, true, nil
+}
+
+// frameComplete reports whether b holds at least one whole L2CAP basic
+// frame: the 4-byte header plus its declared payload length.
+func frameComplete(b []byte) bool {
+	if len(b) < 4 {
+		return false
+	}
+	return len(b) >= 4+int(binary.LittleEndian.Uint16(b[0:2]))
 }

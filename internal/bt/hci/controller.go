@@ -27,6 +27,12 @@ type Controller struct {
 	aclBufSize int
 	nextHandle ConnHandle
 
+	// txScratch is the reused wire buffer for outbound ACL fragments. A
+	// carried frame is a borrow the medium and receiver must not retain,
+	// so one scratch per controller suffices: each Carry fully delivers
+	// before the next fragment overwrites it.
+	txScratch []byte
+
 	byHandle map[ConnHandle]*link
 	byPeer   map[radio.BDAddr]*link
 
@@ -122,7 +128,8 @@ func (c *Controller) Discoverable() (radio.InquiryResult, bool) {
 }
 
 // SetReceiver installs the host-stack callback for complete inbound
-// L2CAP frames.
+// L2CAP frames. The frame passed to the callback is a borrow, valid only
+// until the callback returns; the host must copy anything it retains.
 func (c *Controller) SetReceiver(fn func(h ConnHandle, peer radio.BDAddr, l2capFrame []byte)) {
 	c.receiver = fn
 }
@@ -175,23 +182,33 @@ func (c *Controller) HandleFor(peer radio.BDAddr) (ConnHandle, bool) {
 }
 
 // SendL2CAP fragments one complete L2CAP frame and carries every fragment
-// across the medium.
+// across the medium. Fragmentation happens in place against a reused
+// scratch buffer, so steady-state sends do not allocate.
 func (c *Controller) SendL2CAP(h ConnHandle, l2capFrame []byte) error {
 	l, ok := c.byHandle[h]
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNoSuchHandle, h)
 	}
-	for _, frag := range Fragment(h, l2capFrame, c.aclBufSize) {
-		if err := c.medium.Carry(c.addr, l.peer, frag.Marshal()); err != nil {
+	boundary := BoundaryFirstFlushable
+	rest := l2capFrame
+	for {
+		n := min(len(rest), c.aclBufSize)
+		frag := ACLPacket{Handle: h, Boundary: boundary, Data: rest[:n]}
+		c.txScratch = frag.AppendTo(c.txScratch[:0])
+		if err := c.medium.Carry(c.addr, l.peer, c.txScratch); err != nil {
 			return fmt.Errorf("carry fragment: %w", err)
 		}
+		rest = rest[n:]
+		if len(rest) == 0 {
+			return nil
+		}
+		boundary = BoundaryContinuation
 	}
-	return nil
 }
 
 // ReceiveFrame implements radio.Endpoint: an ACL fragment arrived.
 func (c *Controller) ReceiveFrame(from radio.BDAddr, data []byte) {
-	pkt, err := UnmarshalACL(data)
+	pkt, err := ParseACL(data)
 	if err != nil {
 		return // malformed baseband frames are dropped silently, as hardware does
 	}

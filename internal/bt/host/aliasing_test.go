@@ -1,0 +1,124 @@
+package host_test
+
+// Aliasing/reuse regression tests for the pooled packet path: anything a
+// component retains past its ownership window must be a copy, so
+// mutating released or reused buffers must never reach it. These tests
+// deliberately hammer the reuse paths (scratch marshal buffers, pooled
+// inbox payloads) after taking snapshots, and fail if a snapshot moves.
+
+import (
+	"bytes"
+	"testing"
+
+	"l2fuzz/internal/bt/host"
+	"l2fuzz/internal/bt/l2cap"
+	"l2fuzz/internal/bt/pool"
+)
+
+// TestRecordedWireSurvivesScratchReuse pins the recorder's copy
+// semantics: the trace stores wire bytes that outlive the client's
+// reused marshal scratch, so later sends — which overwrite that scratch
+// — must not reach recorded ops.
+func TestRecordedWireSurvivesScratchReuse(t *testing.T) {
+	cl, rec, target := recordRig(t, 0)
+	if err := cl.Connect(target); err != nil {
+		t.Fatal(err)
+	}
+	first := l2cap.SignalPacket(1, &l2cap.EchoReq{Data: []byte("first-packet")}, []byte{0xAA, 0xBB})
+	if err := cl.Send(target, first); err != nil {
+		t.Fatal(err)
+	}
+	ops, _ := rec.Snapshot()
+	if len(ops) != 2 || ops[1].Kind != host.TraceSend {
+		t.Fatalf("unexpected ops %v", ops)
+	}
+	pinned := append([]byte(nil), ops[1].Data...)
+
+	// Hammer the scratch-reusing send path with different contents.
+	for i := 0; i < 64; i++ {
+		pkt := l2cap.SignalPacket(uint8(i%250+2), &l2cap.EchoReq{Data: bytes.Repeat([]byte{byte(i)}, 32)}, nil)
+		if err := cl.Send(target, pkt); err != nil {
+			t.Fatal(err)
+		}
+		cl.Drain()
+	}
+
+	ops2, _ := rec.Snapshot()
+	if !bytes.Equal(ops2[1].Data, pinned) {
+		t.Fatalf("recorded wire bytes changed under scratch reuse:\n got %x\nwant %x", ops2[1].Data, pinned)
+	}
+	if !bytes.Equal(pinned, first.Marshal()) {
+		t.Fatalf("recorded wire bytes differ from the packet's marshal")
+	}
+}
+
+// TestDrainBatchStableUntilNextDrain pins the Drain ownership window: a
+// drained batch stays intact while new responses arrive, and is only
+// recycled by the next Drain.
+func TestDrainBatchStableUntilNextDrain(t *testing.T) {
+	cl, _, target := recordRig(t, 0)
+	if err := cl.Connect(target); err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: provoke an echo response and drain it.
+	if _, err := cl.SendCommand(target, &l2cap.EchoReq{Data: []byte("round-one")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	batch := cl.Drain()
+	if len(batch) == 0 {
+		t.Fatal("no response drained")
+	}
+	snap := make([][]byte, len(batch))
+	for i, pkt := range batch {
+		snap[i] = append([]byte(nil), pkt.Payload...)
+	}
+
+	// New traffic arrives while the batch is still borrowed: it must not
+	// touch the batch (deliveries go to the other inbox buffer).
+	for i := 0; i < 32; i++ {
+		if _, err := cl.SendCommand(target, &l2cap.EchoReq{Data: bytes.Repeat([]byte{0xEE}, 48)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, pkt := range batch {
+		if !bytes.Equal(pkt.Payload, snap[i]) {
+			t.Fatalf("drained packet %d changed while borrowed", i)
+		}
+	}
+
+	// The next Drain ends the window: released payloads go back to the
+	// pool, and a subsequent borrower may scribble over them. The
+	// explicit copies must be unaffected.
+	cl.Drain()
+	scribble := pool.Get(len(snap[0]))
+	for i := range scribble {
+		scribble[i] = 0x5A
+	}
+	for i := range snap {
+		if len(snap[i]) > 0 && bytes.Equal(snap[i], bytes.Repeat([]byte{0x5A}, len(snap[i]))) {
+			t.Fatalf("pinned copy %d aliases a pooled buffer", i)
+		}
+	}
+	pool.Put(scribble)
+}
+
+// TestReleasedBufferMutationDoesNotReachRetainedFrames is the direct
+// "mutate a released buffer" regression: release a pooled buffer, have
+// the next borrower scribble it, and assert a frame retained (copied)
+// before the release is untouched.
+func TestReleasedBufferMutationDoesNotReachRetainedFrames(t *testing.T) {
+	wire := l2cap.SignalPacket(7, &l2cap.EchoReq{Data: []byte("retained")}, nil).Marshal()
+
+	borrowed := pool.Copy(wire)
+	retained := append([]byte(nil), borrowed...) // the "must copy" rule
+	pool.Put(borrowed)
+
+	next := pool.Get(len(wire)) // recycles the released buffer
+	for i := range next {
+		next[i] = 0xFF
+	}
+	if !bytes.Equal(retained, wire) {
+		t.Fatalf("retained copy changed after its source buffer was released and reused")
+	}
+	pool.Put(next)
+}

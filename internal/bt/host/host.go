@@ -17,6 +17,7 @@ import (
 
 	"l2fuzz/internal/bt/hci"
 	"l2fuzz/internal/bt/l2cap"
+	"l2fuzz/internal/bt/pool"
 	"l2fuzz/internal/bt/radio"
 	"l2fuzz/internal/bt/sdp"
 )
@@ -38,11 +39,29 @@ type Client struct {
 	medium *radio.Medium
 
 	handles  map[radio.BDAddr]hci.ConnHandle
-	inbox    []l2cap.Packet
 	nextID   uint8
 	nextCID  l2cap.CID
 	recorder *TraceRecorder
+
+	// inbox accumulates delivered packets (payloads are pool borrows);
+	// drained holds the batch handed out by the last Drain, whose
+	// payloads are released back to the pool at the next Drain. The two
+	// slices double-buffer so a caller can iterate a drained batch while
+	// new responses land.
+	inbox   []l2cap.Packet
+	drained []l2cap.Packet
+
+	// Reused scratch state for the steady-state send/decode path.
+	txWire    []byte          // wire bytes of the frame being sent
+	sigWire   []byte          // signaling payload built by SendCommand
+	sigFrames []l2cap.Frame   // AppendSignals scratch in DrainCommands
+	cmds      []l2cap.Command // DrainCommands result scratch
+	dec       l2cap.Decoder
+	echo      l2cap.EchoReq // Ping's reused request
 }
+
+// pingData is the constant Echo Request payload Ping sends ("ping").
+var pingData = []byte{0x70, 0x69, 0x6E, 0x67}
 
 // NewClient registers a tester endpoint on the medium.
 func NewClient(m *radio.Medium, addr radio.BDAddr, name string) (*Client, error) {
@@ -59,10 +78,14 @@ func NewClient(m *radio.Medium, addr radio.BDAddr, name string) (*Client, error)
 		return nil, fmt.Errorf("host client: %w", err)
 	}
 	ctrl.SetReceiver(func(_ hci.ConnHandle, _ radio.BDAddr, frame []byte) {
-		pkt, err := l2cap.UnmarshalPacket(frame)
+		// The frame is a borrow from the controller; the inbox retains
+		// the payload past this callback, so copy it into a pooled
+		// buffer (released by the Drain after next).
+		pkt, err := l2cap.ParsePacket(frame)
 		if err != nil {
 			return
 		}
+		pkt.Payload = pool.Copy(pkt.Payload)
 		c.inbox = append(c.inbox, pkt)
 	})
 	c.ctrl = ctrl
@@ -136,7 +159,8 @@ func (c *Client) NextSourceCID() l2cap.CID {
 
 // Send transmits one raw L2CAP packet to peer. A dead link is reported
 // as ErrNotConnected (wrapped), which the vulnerability detector maps to
-// its connection-error classes.
+// its connection-error classes. The packet is marshaled into a reused
+// scratch buffer, so steady-state sends do not allocate.
 func (c *Client) Send(peer radio.BDAddr, pkt l2cap.Packet) error {
 	// The handle check also lives in SendRaw; repeating it here skips
 	// the marshal on link-less sends, which fuzzers hit in bursts while
@@ -144,41 +168,62 @@ func (c *Client) Send(peer radio.BDAddr, pkt l2cap.Packet) error {
 	if _, ok := c.handles[peer]; !ok {
 		return fmt.Errorf("%w: %v", ErrNotConnected, peer)
 	}
-	return c.SendRaw(peer, pkt.Marshal())
+	c.txWire = pkt.AppendTo(c.txWire[:0])
+	return c.SendRaw(peer, c.txWire)
 }
 
 // SendCommand wraps a signaling command (with optional garbage tail) and
-// sends it, returning the identifier used.
+// sends it, returning the identifier used. The signaling frame is built
+// in a reused scratch buffer.
 func (c *Client) SendCommand(peer radio.BDAddr, cmd l2cap.Command, tail []byte) (uint8, error) {
 	id := c.NextID()
-	return id, c.Send(peer, l2cap.SignalPacket(id, cmd, tail))
+	payload, declared := l2cap.AppendSignalFrame(c.sigWire[:0], id, cmd, tail)
+	c.sigWire = payload
+	return id, c.Send(peer, l2cap.Packet{
+		Length:    uint16(min(declared, l2cap.MaxPayload)),
+		ChannelID: l2cap.CIDSignaling,
+		Payload:   payload,
+	})
 }
 
-// Drain returns and clears the inbox.
+// Drain returns and clears the inbox. The returned packets (and their
+// payloads) are a borrow, valid only until the next Drain: their pooled
+// payload buffers are recycled then. Callers that retain a payload — the
+// corpus, cross-round state — must copy it.
 func (c *Client) Drain() []l2cap.Packet {
+	for i := range c.drained {
+		pool.Put(c.drained[i].Payload)
+	}
 	out := c.inbox
-	c.inbox = nil
+	c.inbox = c.drained[:0]
+	c.drained = out
 	return out
 }
 
 // DrainCommands decodes the signaling commands out of the drained inbox,
-// discarding undecodable frames.
+// discarding undecodable frames. The returned slice and the commands in
+// it are borrows, valid until the next Drain or DrainCommands: commands
+// come from a per-code decoder cache, and their variable-length members
+// alias the drained payloads.
 func (c *Client) DrainCommands() []l2cap.Command {
-	var out []l2cap.Command
+	out := c.cmds[:0]
 	for _, pkt := range c.Drain() {
 		if !pkt.IsSignaling() {
 			continue
 		}
-		frames, err := l2cap.ParseSignals(pkt.Payload)
+		frames, err := l2cap.AppendSignals(c.sigFrames[:0], pkt.Payload)
 		if err != nil {
+			c.sigFrames = frames[:0]
 			continue
 		}
+		c.sigFrames = frames
 		for _, f := range frames {
-			if cmd, err := l2cap.DecodeCommand(f); err == nil {
+			if cmd, err := c.dec.Decode(f); err == nil {
 				out = append(out, cmd)
 			}
 		}
 	}
+	c.cmds = out
 	return out
 }
 
@@ -186,7 +231,8 @@ func (c *Client) DrainCommands() []l2cap.Command {
 // the liveness probe of the vulnerability-detecting phase.
 func (c *Client) Ping(peer radio.BDAddr) error {
 	c.Drain()
-	if _, err := c.SendCommand(peer, &l2cap.EchoReq{Data: []byte{0x70, 0x69, 0x6E, 0x67}}, nil); err != nil {
+	c.echo.Data = pingData
+	if _, err := c.SendCommand(peer, &c.echo, nil); err != nil {
 		return err
 	}
 	for _, cmd := range c.DrainCommands() {

@@ -105,9 +105,9 @@ func (r *TraceRecorder) Reset() {
 }
 
 // SetRecorder attaches a trace recorder to the client (nil detaches).
-// Recording costs one slice append per operation; the transmitted wire
-// buffer is stored as-is, which is safe because the client marshals a
-// fresh buffer per send and the controller does not retain it.
+// Recording costs one slice append plus one wire-buffer copy per send:
+// the client marshals into a reused scratch buffer, so the recorder —
+// which keeps its ops indefinitely — must take its own copy.
 func (c *Client) SetRecorder(r *TraceRecorder) { c.recorder = r }
 
 // Recorder returns the attached trace recorder, or nil.
@@ -123,7 +123,9 @@ func (c *Client) SendRaw(peer radio.BDAddr, wire []byte) error {
 		return fmt.Errorf("%w: %v", ErrNotConnected, peer)
 	}
 	if c.recorder != nil {
-		c.recorder.record(TraceOp{Kind: TraceSend, Data: wire})
+		// wire may be (and on the Send path is) a borrow of the client's
+		// scratch buffer; the trace outlives it, so copy.
+		c.recorder.record(TraceOp{Kind: TraceSend, Data: append([]byte(nil), wire...)})
 	}
 	if err := c.ctrl.SendL2CAP(h, wire); err != nil {
 		c.Disconnect(peer)

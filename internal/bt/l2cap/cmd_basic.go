@@ -61,9 +61,12 @@ type CommandReject struct {
 func (*CommandReject) Code() CommandCode { return CodeCommandReject }
 
 // MarshalData implements Command.
-func (c *CommandReject) MarshalData() []byte {
-	out := putU16(nil, uint16(c.Reason))
-	return append(out, c.ReasonData...)
+func (c *CommandReject) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *CommandReject) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.Reason))
+	return append(dst, c.ReasonData...)
 }
 
 // UnmarshalData implements Command.
@@ -72,7 +75,7 @@ func (c *CommandReject) UnmarshalData(data []byte) error {
 		return err
 	}
 	c.Reason = RejectReason(getU16(data, 0))
-	c.ReasonData = append([]byte(nil), data[2:]...)
+	c.ReasonData = data[2:] // aliases data, per the Command borrow rule
 	switch c.Reason {
 	case RejectSignalingMTUExceeded:
 		if len(c.ReasonData) != 2 {
@@ -122,9 +125,12 @@ type ConnectionReq struct {
 func (*ConnectionReq) Code() CommandCode { return CodeConnectionReq }
 
 // MarshalData implements Command.
-func (c *ConnectionReq) MarshalData() []byte {
-	out := putU16(nil, uint16(c.PSM))
-	return putU16(out, uint16(c.SCID))
+func (c *ConnectionReq) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *ConnectionReq) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.PSM))
+	return putU16(dst, uint16(c.SCID))
 }
 
 // UnmarshalData implements Command.
@@ -158,11 +164,14 @@ type ConnectionRsp struct {
 func (*ConnectionRsp) Code() CommandCode { return CodeConnectionRsp }
 
 // MarshalData implements Command.
-func (c *ConnectionRsp) MarshalData() []byte {
-	out := putU16(nil, uint16(c.DCID))
-	out = putU16(out, uint16(c.SCID))
-	out = putU16(out, uint16(c.Result))
-	return putU16(out, c.Status)
+func (c *ConnectionRsp) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *ConnectionRsp) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.DCID))
+	dst = putU16(dst, uint16(c.SCID))
+	dst = putU16(dst, uint16(c.Result))
+	return putU16(dst, c.Status)
 }
 
 // UnmarshalData implements Command.
@@ -198,10 +207,13 @@ type ConfigurationReq struct {
 func (*ConfigurationReq) Code() CommandCode { return CodeConfigurationReq }
 
 // MarshalData implements Command.
-func (c *ConfigurationReq) MarshalData() []byte {
-	out := putU16(nil, uint16(c.DCID))
-	out = putU16(out, c.Flags)
-	return appendOptions(out, c.Options)
+func (c *ConfigurationReq) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *ConfigurationReq) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.DCID))
+	dst = putU16(dst, c.Flags)
+	return appendOptions(dst, c.Options)
 }
 
 // UnmarshalData implements Command.
@@ -211,7 +223,7 @@ func (c *ConfigurationReq) UnmarshalData(data []byte) error {
 	}
 	c.DCID = CID(getU16(data, 0))
 	c.Flags = getU16(data, 2)
-	opts, err := ParseOptions(data[4:])
+	opts, err := AppendParsedOptions(c.Options[:0], data[4:])
 	if err != nil {
 		return fmt.Errorf("%v options: %w", CodeConfigurationReq, err)
 	}
@@ -240,11 +252,14 @@ type ConfigurationRsp struct {
 func (*ConfigurationRsp) Code() CommandCode { return CodeConfigurationRsp }
 
 // MarshalData implements Command.
-func (c *ConfigurationRsp) MarshalData() []byte {
-	out := putU16(nil, uint16(c.SCID))
-	out = putU16(out, c.Flags)
-	out = putU16(out, uint16(c.Result))
-	return appendOptions(out, c.Options)
+func (c *ConfigurationRsp) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *ConfigurationRsp) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.SCID))
+	dst = putU16(dst, c.Flags)
+	dst = putU16(dst, uint16(c.Result))
+	return appendOptions(dst, c.Options)
 }
 
 // UnmarshalData implements Command.
@@ -255,7 +270,7 @@ func (c *ConfigurationRsp) UnmarshalData(data []byte) error {
 	c.SCID = CID(getU16(data, 0))
 	c.Flags = getU16(data, 2)
 	c.Result = ConfigResult(getU16(data, 4))
-	opts, err := ParseOptions(data[6:])
+	opts, err := AppendParsedOptions(c.Options[:0], data[6:])
 	if err != nil {
 		return fmt.Errorf("%v options: %w", CodeConfigurationRsp, err)
 	}
@@ -281,9 +296,12 @@ type DisconnectionReq struct {
 func (*DisconnectionReq) Code() CommandCode { return CodeDisconnectionReq }
 
 // MarshalData implements Command.
-func (c *DisconnectionReq) MarshalData() []byte {
-	out := putU16(nil, uint16(c.DCID))
-	return putU16(out, uint16(c.SCID))
+func (c *DisconnectionReq) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *DisconnectionReq) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.DCID))
+	return putU16(dst, uint16(c.SCID))
 }
 
 // UnmarshalData implements Command.
@@ -313,9 +331,12 @@ type DisconnectionRsp struct {
 func (*DisconnectionRsp) Code() CommandCode { return CodeDisconnectionRsp }
 
 // MarshalData implements Command.
-func (c *DisconnectionRsp) MarshalData() []byte {
-	out := putU16(nil, uint16(c.DCID))
-	return putU16(out, uint16(c.SCID))
+func (c *DisconnectionRsp) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *DisconnectionRsp) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.DCID))
+	return putU16(dst, uint16(c.SCID))
 }
 
 // UnmarshalData implements Command.
@@ -346,9 +367,12 @@ func (*EchoReq) Code() CommandCode { return CodeEchoReq }
 // MarshalData implements Command.
 func (c *EchoReq) MarshalData() []byte { return append([]byte(nil), c.Data...) }
 
+// AppendData implements Command.
+func (c *EchoReq) AppendData(dst []byte) []byte { return append(dst, c.Data...) }
+
 // UnmarshalData implements Command.
 func (c *EchoReq) UnmarshalData(data []byte) error {
-	c.Data = append([]byte(nil), data...)
+	c.Data = data // aliases data, per the Command borrow rule
 	return nil
 }
 
@@ -367,9 +391,12 @@ func (*EchoRsp) Code() CommandCode { return CodeEchoRsp }
 // MarshalData implements Command.
 func (c *EchoRsp) MarshalData() []byte { return append([]byte(nil), c.Data...) }
 
+// AppendData implements Command.
+func (c *EchoRsp) AppendData(dst []byte) []byte { return append(dst, c.Data...) }
+
 // UnmarshalData implements Command.
 func (c *EchoRsp) UnmarshalData(data []byte) error {
-	c.Data = append([]byte(nil), data...)
+	c.Data = data // aliases data, per the Command borrow rule
 	return nil
 }
 
@@ -386,8 +413,11 @@ type InformationReq struct {
 func (*InformationReq) Code() CommandCode { return CodeInformationReq }
 
 // MarshalData implements Command.
-func (c *InformationReq) MarshalData() []byte {
-	return putU16(nil, uint16(c.InfoType))
+func (c *InformationReq) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *InformationReq) AppendData(dst []byte) []byte {
+	return putU16(dst, uint16(c.InfoType))
 }
 
 // UnmarshalData implements Command.
@@ -416,10 +446,13 @@ type InformationRsp struct {
 func (*InformationRsp) Code() CommandCode { return CodeInformationRsp }
 
 // MarshalData implements Command.
-func (c *InformationRsp) MarshalData() []byte {
-	out := putU16(nil, uint16(c.InfoType))
-	out = putU16(out, uint16(c.Result))
-	return append(out, c.Data...)
+func (c *InformationRsp) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *InformationRsp) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.InfoType))
+	dst = putU16(dst, uint16(c.Result))
+	return append(dst, c.Data...)
 }
 
 // UnmarshalData implements Command.
@@ -429,7 +462,7 @@ func (c *InformationRsp) UnmarshalData(data []byte) error {
 	}
 	c.InfoType = InfoType(getU16(data, 0))
 	c.Result = InfoResult(getU16(data, 2))
-	c.Data = append([]byte(nil), data[4:]...)
+	c.Data = data[4:] // aliases data, per the Command borrow rule
 	return nil
 }
 

@@ -31,10 +31,13 @@ type CreateChannelReq struct {
 func (*CreateChannelReq) Code() CommandCode { return CodeCreateChannelReq }
 
 // MarshalData implements Command.
-func (c *CreateChannelReq) MarshalData() []byte {
-	out := putU16(nil, uint16(c.PSM))
-	out = putU16(out, uint16(c.SCID))
-	return append(out, c.ControllerID)
+func (c *CreateChannelReq) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *CreateChannelReq) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.PSM))
+	dst = putU16(dst, uint16(c.SCID))
+	return append(dst, c.ControllerID)
 }
 
 // UnmarshalData implements Command.
@@ -73,11 +76,14 @@ type CreateChannelRsp struct {
 func (*CreateChannelRsp) Code() CommandCode { return CodeCreateChannelRsp }
 
 // MarshalData implements Command.
-func (c *CreateChannelRsp) MarshalData() []byte {
-	out := putU16(nil, uint16(c.DCID))
-	out = putU16(out, uint16(c.SCID))
-	out = putU16(out, uint16(c.Result))
-	return putU16(out, c.Status)
+func (c *CreateChannelRsp) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *CreateChannelRsp) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.DCID))
+	dst = putU16(dst, uint16(c.SCID))
+	dst = putU16(dst, uint16(c.Result))
+	return putU16(dst, c.Status)
 }
 
 // UnmarshalData implements Command.
@@ -109,9 +115,12 @@ type MoveChannelReq struct {
 func (*MoveChannelReq) Code() CommandCode { return CodeMoveChannelReq }
 
 // MarshalData implements Command.
-func (c *MoveChannelReq) MarshalData() []byte {
-	out := putU16(nil, uint16(c.ICID))
-	return append(out, c.DestControllerID)
+func (c *MoveChannelReq) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *MoveChannelReq) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.ICID))
+	return append(dst, c.DestControllerID)
 }
 
 // UnmarshalData implements Command.
@@ -144,9 +153,12 @@ type MoveChannelRsp struct {
 func (*MoveChannelRsp) Code() CommandCode { return CodeMoveChannelRsp }
 
 // MarshalData implements Command.
-func (c *MoveChannelRsp) MarshalData() []byte {
-	out := putU16(nil, uint16(c.ICID))
-	return putU16(out, uint16(c.Result))
+func (c *MoveChannelRsp) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *MoveChannelRsp) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.ICID))
+	return putU16(dst, uint16(c.Result))
 }
 
 // UnmarshalData implements Command.
@@ -176,9 +188,12 @@ type MoveChannelConfirmReq struct {
 func (*MoveChannelConfirmReq) Code() CommandCode { return CodeMoveChannelConfirmReq }
 
 // MarshalData implements Command.
-func (c *MoveChannelConfirmReq) MarshalData() []byte {
-	out := putU16(nil, uint16(c.ICID))
-	return putU16(out, uint16(c.Result))
+func (c *MoveChannelConfirmReq) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *MoveChannelConfirmReq) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.ICID))
+	return putU16(dst, uint16(c.Result))
 }
 
 // UnmarshalData implements Command.
@@ -206,8 +221,11 @@ type MoveChannelConfirmRsp struct {
 func (*MoveChannelConfirmRsp) Code() CommandCode { return CodeMoveChannelConfirmRsp }
 
 // MarshalData implements Command.
-func (c *MoveChannelConfirmRsp) MarshalData() []byte {
-	return putU16(nil, uint16(c.ICID))
+func (c *MoveChannelConfirmRsp) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *MoveChannelConfirmRsp) AppendData(dst []byte) []byte {
+	return putU16(dst, uint16(c.ICID))
 }
 
 // UnmarshalData implements Command.

@@ -61,11 +61,14 @@ type ConnParamUpdateReq struct {
 func (*ConnParamUpdateReq) Code() CommandCode { return CodeConnParamUpdateReq }
 
 // MarshalData implements Command.
-func (c *ConnParamUpdateReq) MarshalData() []byte {
-	out := putU16(nil, c.IntervalMin)
-	out = putU16(out, c.IntervalMax)
-	out = putU16(out, c.Latency)
-	return putU16(out, c.Timeout)
+func (c *ConnParamUpdateReq) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *ConnParamUpdateReq) AppendData(dst []byte) []byte {
+	dst = putU16(dst, c.IntervalMin)
+	dst = putU16(dst, c.IntervalMax)
+	dst = putU16(dst, c.Latency)
+	return putU16(dst, c.Timeout)
 }
 
 // UnmarshalData implements Command.
@@ -93,7 +96,10 @@ type ConnParamUpdateRsp struct {
 func (*ConnParamUpdateRsp) Code() CommandCode { return CodeConnParamUpdateRsp }
 
 // MarshalData implements Command.
-func (c *ConnParamUpdateRsp) MarshalData() []byte { return putU16(nil, c.Result) }
+func (c *ConnParamUpdateRsp) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *ConnParamUpdateRsp) AppendData(dst []byte) []byte { return putU16(dst, c.Result) }
 
 // UnmarshalData implements Command.
 func (c *ConnParamUpdateRsp) UnmarshalData(data []byte) error {
@@ -126,12 +132,15 @@ type LECreditConnReq struct {
 func (*LECreditConnReq) Code() CommandCode { return CodeLECreditConnReq }
 
 // MarshalData implements Command.
-func (c *LECreditConnReq) MarshalData() []byte {
-	out := putU16(nil, c.SPSM)
-	out = putU16(out, uint16(c.SCID))
-	out = putU16(out, c.MTU)
-	out = putU16(out, c.MPS)
-	return putU16(out, c.InitialCredits)
+func (c *LECreditConnReq) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *LECreditConnReq) AppendData(dst []byte) []byte {
+	dst = putU16(dst, c.SPSM)
+	dst = putU16(dst, uint16(c.SCID))
+	dst = putU16(dst, c.MTU)
+	dst = putU16(dst, c.MPS)
+	return putU16(dst, c.InitialCredits)
 }
 
 // UnmarshalData implements Command.
@@ -175,12 +184,15 @@ type LECreditConnRsp struct {
 func (*LECreditConnRsp) Code() CommandCode { return CodeLECreditConnRsp }
 
 // MarshalData implements Command.
-func (c *LECreditConnRsp) MarshalData() []byte {
-	out := putU16(nil, uint16(c.DCID))
-	out = putU16(out, c.MTU)
-	out = putU16(out, c.MPS)
-	out = putU16(out, c.InitialCredits)
-	return putU16(out, c.Result)
+func (c *LECreditConnRsp) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *LECreditConnRsp) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.DCID))
+	dst = putU16(dst, c.MTU)
+	dst = putU16(dst, c.MPS)
+	dst = putU16(dst, c.InitialCredits)
+	return putU16(dst, c.Result)
 }
 
 // UnmarshalData implements Command.
@@ -220,9 +232,12 @@ type FlowControlCredit struct {
 func (*FlowControlCredit) Code() CommandCode { return CodeFlowControlCredit }
 
 // MarshalData implements Command.
-func (c *FlowControlCredit) MarshalData() []byte {
-	out := putU16(nil, uint16(c.CID))
-	return putU16(out, c.Credits)
+func (c *FlowControlCredit) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *FlowControlCredit) AppendData(dst []byte) []byte {
+	dst = putU16(dst, uint16(c.CID))
+	return putU16(dst, c.Credits)
 }
 
 // UnmarshalData implements Command.
@@ -301,12 +316,15 @@ type CreditBasedConnReq struct {
 func (*CreditBasedConnReq) Code() CommandCode { return CodeCreditBasedConnReq }
 
 // MarshalData implements Command.
-func (c *CreditBasedConnReq) MarshalData() []byte {
-	out := putU16(nil, c.SPSM)
-	out = putU16(out, c.MTU)
-	out = putU16(out, c.MPS)
-	out = putU16(out, c.InitialCredits)
-	return marshalCIDs(out, c.SCIDs)
+func (c *CreditBasedConnReq) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *CreditBasedConnReq) AppendData(dst []byte) []byte {
+	dst = putU16(dst, c.SPSM)
+	dst = putU16(dst, c.MTU)
+	dst = putU16(dst, c.MPS)
+	dst = putU16(dst, c.InitialCredits)
+	return marshalCIDs(dst, c.SCIDs)
 }
 
 // UnmarshalData implements Command.
@@ -354,12 +372,15 @@ type CreditBasedConnRsp struct {
 func (*CreditBasedConnRsp) Code() CommandCode { return CodeCreditBasedConnRsp }
 
 // MarshalData implements Command.
-func (c *CreditBasedConnRsp) MarshalData() []byte {
-	out := putU16(nil, c.MTU)
-	out = putU16(out, c.MPS)
-	out = putU16(out, c.InitialCredits)
-	out = putU16(out, c.Result)
-	return marshalCIDs(out, c.DCIDs)
+func (c *CreditBasedConnRsp) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *CreditBasedConnRsp) AppendData(dst []byte) []byte {
+	dst = putU16(dst, c.MTU)
+	dst = putU16(dst, c.MPS)
+	dst = putU16(dst, c.InitialCredits)
+	dst = putU16(dst, c.Result)
+	return marshalCIDs(dst, c.DCIDs)
 }
 
 // UnmarshalData implements Command.
@@ -404,10 +425,13 @@ type CreditBasedReconfReq struct {
 func (*CreditBasedReconfReq) Code() CommandCode { return CodeCreditBasedReconfReq }
 
 // MarshalData implements Command.
-func (c *CreditBasedReconfReq) MarshalData() []byte {
-	out := putU16(nil, c.MTU)
-	out = putU16(out, c.MPS)
-	return marshalCIDs(out, c.DCIDs)
+func (c *CreditBasedReconfReq) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *CreditBasedReconfReq) AppendData(dst []byte) []byte {
+	dst = putU16(dst, c.MTU)
+	dst = putU16(dst, c.MPS)
+	return marshalCIDs(dst, c.DCIDs)
 }
 
 // UnmarshalData implements Command.
@@ -445,7 +469,10 @@ type CreditBasedReconfRsp struct {
 func (*CreditBasedReconfRsp) Code() CommandCode { return CodeCreditBasedReconfRsp }
 
 // MarshalData implements Command.
-func (c *CreditBasedReconfRsp) MarshalData() []byte { return putU16(nil, c.Result) }
+func (c *CreditBasedReconfRsp) MarshalData() []byte { return c.AppendData(nil) }
+
+// AppendData implements Command.
+func (c *CreditBasedReconfRsp) AppendData(dst []byte) []byte { return putU16(dst, c.Result) }
 
 // UnmarshalData implements Command.
 func (c *CreditBasedReconfRsp) UnmarshalData(data []byte) error {

@@ -103,25 +103,35 @@ func appendOptions(dst []byte, opts []ConfigOption) []byte {
 
 // ParseOptions decodes a configuration-option list. Unknown option types
 // decode structurally (type, length, value) so a fuzzer's garbage options
-// are observable; a length that overruns the buffer is an error.
+// are observable; a length that overruns the buffer is an error. Option
+// values alias data (borrow semantics): callers that retain them past the
+// buffer's lifetime must copy.
 func ParseOptions(data []byte) ([]ConfigOption, error) {
-	var opts []ConfigOption
+	return AppendParsedOptions(nil, data)
+}
+
+// AppendParsedOptions decodes a configuration-option list onto dst and
+// returns the extended slice: the allocation-free form of ParseOptions
+// decode loops use with a reused scratch slice. On error the appended
+// prefix is discarded.
+func AppendParsedOptions(dst []ConfigOption, data []byte) ([]ConfigOption, error) {
+	opts := dst
 	off := 0
 	for off < len(data) {
 		if len(data)-off < 2 {
-			return nil, fmt.Errorf("%w: truncated option header at offset %d",
+			return dst, fmt.Errorf("%w: truncated option header at offset %d",
 				ErrBadCommand, off)
 		}
 		t := OptionType(data[off])
 		n := int(data[off+1])
 		off += 2
 		if n > len(data)-off {
-			return nil, fmt.Errorf("%w: option 0x%02X length %d overruns payload",
+			return dst, fmt.Errorf("%w: option 0x%02X length %d overruns payload",
 				ErrBadCommand, uint8(t), n)
 		}
 		opts = append(opts, ConfigOption{
 			Type:  t,
-			Value: append([]byte(nil), data[off:off+n]...),
+			Value: data[off : off+n : off+n],
 		})
 		off += n
 	}

@@ -99,37 +99,57 @@ func (p Packet) TrailingGarbage() []byte {
 // WireSize returns the number of bytes Marshal will produce.
 func (p Packet) WireSize() int { return HeaderSize + len(p.Payload) }
 
-// Marshal encodes the frame into wire bytes.
+// Marshal encodes the frame into a fresh wire-byte buffer. Hot paths use
+// AppendTo with a reused scratch buffer instead.
 func (p Packet) Marshal() []byte {
-	buf := make([]byte, HeaderSize+len(p.Payload))
-	binary.LittleEndian.PutUint16(buf[0:2], p.Length)
-	binary.LittleEndian.PutUint16(buf[2:4], uint16(p.ChannelID))
-	copy(buf[HeaderSize:], p.Payload)
-	return buf
+	return p.AppendTo(make([]byte, 0, HeaderSize+len(p.Payload)))
+}
+
+// AppendTo appends the wire form of the frame to dst and returns the
+// extended slice: the allocation-free marshal of the packet hot path.
+func (p Packet) AppendTo(dst []byte) []byte {
+	var hdr [HeaderSize]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], p.Length)
+	binary.LittleEndian.PutUint16(hdr[2:4], uint16(p.ChannelID))
+	dst = append(dst, hdr[:]...)
+	return append(dst, p.Payload...)
 }
 
 // UnmarshalPacket decodes one basic frame from raw bytes. The payload
-// slice is copied, so the caller keeps ownership of raw.
+// slice is copied, so the caller keeps ownership of raw; decode loops
+// that only inspect the frame use ParsePacket instead.
 //
 // A frame whose declared length exceeds the available bytes fails with
 // ErrLengthMismatch; a frame with *extra* bytes beyond the declared length
 // decodes successfully and reports them via TrailingGarbage, mirroring how
 // permissive stacks treat garbage tails.
 func UnmarshalPacket(raw []byte) (Packet, error) {
+	p, err := ParsePacket(raw)
+	if err != nil {
+		return Packet{}, err
+	}
+	p.Payload = append([]byte(nil), p.Payload...)
+	return p, nil
+}
+
+// ParsePacket decodes one basic frame without copying: the returned
+// packet's Payload aliases raw (borrow semantics) and is valid only while
+// raw is. Callers that retain the packet past the buffer's lifetime —
+// inboxes, traces, any cross-packet state — must copy the payload. The
+// validation rules match UnmarshalPacket.
+func ParsePacket(raw []byte) (Packet, error) {
 	if len(raw) < HeaderSize {
 		return Packet{}, fmt.Errorf("%w: got %d bytes", ErrShortPacket, len(raw))
 	}
 	p := Packet{
 		Length:    binary.LittleEndian.Uint16(raw[0:2]),
 		ChannelID: CID(binary.LittleEndian.Uint16(raw[2:4])),
+		Payload:   raw[HeaderSize:],
 	}
-	body := raw[HeaderSize:]
-	if int(p.Length) > len(body) {
+	if int(p.Length) > len(p.Payload) {
 		return Packet{}, fmt.Errorf("%w: declared %d, available %d",
-			ErrLengthMismatch, p.Length, len(body))
+			ErrLengthMismatch, p.Length, len(p.Payload))
 	}
-	p.Payload = make([]byte, len(body))
-	copy(p.Payload, body)
 	return p, nil
 }
 

@@ -42,6 +42,10 @@ func (f Frame) Marshal() []byte {
 // UnmarshalFrame decodes a single signaling frame from payload, treating
 // every byte beyond the declared data length as Tail. Use ParseSignals for
 // payloads that may pack several commands.
+//
+// Data and Tail alias payload (borrow semantics): the frame is valid only
+// while payload is. Callers that retain the frame past the payload's
+// lifetime must copy both slices.
 func UnmarshalFrame(payload []byte) (Frame, error) {
 	if len(payload) < SignalHeaderSize {
 		return Frame{}, fmt.Errorf("%w: got %d bytes", ErrShortCommand, len(payload))
@@ -56,8 +60,8 @@ func UnmarshalFrame(payload []byte) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: declared %d, available %d",
 			ErrDataLength, dataLen, len(rest))
 	}
-	f.Data = append([]byte(nil), rest[:dataLen]...)
-	f.Tail = append([]byte(nil), rest[dataLen:]...)
+	f.Data = rest[:dataLen:dataLen]
+	f.Tail = rest[dataLen:]
 	return f, nil
 }
 
@@ -67,38 +71,61 @@ func UnmarshalFrame(payload []byte) (Frame, error) {
 // frames decoded so far together with the error. A trailing fragment too
 // short to be a command header is attributed to the previous frame's Tail
 // (or reported as an error when there is no previous frame).
+//
+// Each frame's Data and Tail alias payload (borrow semantics): the frames
+// are valid only while payload is. Callers that retain them must copy.
 func ParseSignals(payload []byte) ([]Frame, error) {
-	var frames []Frame
+	return AppendSignals(nil, payload)
+}
+
+// AppendSignals is ParseSignals with a caller-supplied destination: the
+// decoded frames are appended to dst (usually a reused scratch slice with
+// length 0), avoiding a slice allocation per payload on the hot path. The
+// same borrow semantics apply: Data and Tail alias payload.
+func AppendSignals(dst []Frame, payload []byte) ([]Frame, error) {
+	base := len(dst)
 	off := 0
 	for off < len(payload) {
 		rest := payload[off:]
 		if len(rest) < SignalHeaderSize {
-			if len(frames) == 0 {
-				return nil, fmt.Errorf("%w: got %d bytes", ErrShortCommand, len(rest))
+			if len(dst) == base {
+				return dst[:base], fmt.Errorf("%w: got %d bytes", ErrShortCommand, len(rest))
 			}
-			last := &frames[len(frames)-1]
-			last.Tail = append(last.Tail, rest...)
-			return frames, nil
+			last := &dst[len(dst)-1]
+			last.Tail = appendTail(last.Tail, payload, off)
+			return dst, nil
 		}
 		dataLen := int(binary.LittleEndian.Uint16(rest[2:4]))
 		if SignalHeaderSize+dataLen > len(rest) {
-			if len(frames) == 0 {
-				return nil, fmt.Errorf("%w: declared %d, available %d",
+			if len(dst) == base {
+				return dst[:base], fmt.Errorf("%w: declared %d, available %d",
 					ErrDataLength, dataLen, len(rest)-SignalHeaderSize)
 			}
-			last := &frames[len(frames)-1]
-			last.Tail = append(last.Tail, rest...)
-			return frames, nil
+			last := &dst[len(dst)-1]
+			last.Tail = appendTail(last.Tail, payload, off)
+			return dst, nil
 		}
-		f := Frame{
+		dst = append(dst, Frame{
 			Code:       CommandCode(rest[0]),
 			Identifier: rest[1],
-			Data:       append([]byte(nil), rest[SignalHeaderSize:SignalHeaderSize+dataLen]...),
-		}
-		frames = append(frames, f)
+			Data:       rest[SignalHeaderSize : SignalHeaderSize+dataLen : SignalHeaderSize+dataLen],
+		})
 		off += SignalHeaderSize + dataLen
 	}
-	return frames, nil
+	return dst, nil
+}
+
+// appendTail extends a frame's tail with payload[off:]. When the existing
+// tail already aliases payload and ends exactly at off — the only way this
+// parser produces a non-empty tail — the extension is a re-slice; the
+// empty-tail case borrows directly. (A copying append would silently break
+// the borrow contract by mixing owned and aliased tails.)
+func appendTail(tail, payload []byte, off int) []byte {
+	if len(tail) == 0 {
+		return payload[off:]
+	}
+	// tail is payload[off-len(tail) : off]; grow it in place.
+	return payload[off-len(tail):]
 }
 
 // Command is one decoded signaling command. Implementations are the 26
@@ -107,10 +134,17 @@ type Command interface {
 	// Code returns the signaling command code.
 	Code() CommandCode
 	// MarshalData encodes the command's data fields (the bytes that follow
-	// the 4-byte command header).
+	// the 4-byte command header) into a fresh buffer.
 	MarshalData() []byte
-	// UnmarshalData decodes the command's data fields. Implementations
-	// must not retain the argument slice.
+	// AppendData appends the command's data fields to dst and returns the
+	// extended slice: the allocation-free form of MarshalData the packet
+	// hot path uses.
+	AppendData(dst []byte) []byte
+	// UnmarshalData decodes the command's data fields. Variable-length
+	// members ([]byte fields such as echo payloads and reject reason
+	// data) alias the argument slice (borrow semantics): the decoded
+	// command is valid only while data is. Callers that retain the
+	// command past the buffer's lifetime must copy those fields.
 	UnmarshalData(data []byte) error
 	// CoreFields exposes the mutable-core (MC) fields of the command for
 	// L2Fuzz's core-field mutating: the PSM (port) and every channel ID
@@ -198,11 +232,42 @@ func newCommand(code CommandCode) (Command, error) {
 	}
 }
 
-// DecodeCommand turns a signaling frame into its concrete command.
+// DecodeCommand turns a signaling frame into a freshly allocated concrete
+// command. Hot paths that decode one frame at a time should prefer a
+// reused Decoder.
 func DecodeCommand(f Frame) (Command, error) {
 	cmd, err := newCommand(f.Code)
 	if err != nil {
 		return nil, err
+	}
+	if err := cmd.UnmarshalData(f.Data); err != nil {
+		return nil, fmt.Errorf("decode %v: %w", f.Code, err)
+	}
+	return cmd, nil
+}
+
+// Decoder decodes signaling frames into a per-code cache of command
+// instances, so a packet-processing loop pays no allocation per decoded
+// command. The returned command is owned by the decoder and overwritten
+// by the next Decode of the same code: callers use it within the current
+// handling step (or copy what they keep), exactly the window the borrow
+// rule on UnmarshalData already imposes. A Decoder is not safe for
+// concurrent use; give each device, sniffer, or client its own.
+type Decoder struct {
+	cache [256]Command
+}
+
+// Decode turns a signaling frame into its concrete command, reusing the
+// decoder's cached instance for the frame's code.
+func (d *Decoder) Decode(f Frame) (Command, error) {
+	cmd := d.cache[f.Code]
+	if cmd == nil {
+		fresh, err := newCommand(f.Code)
+		if err != nil {
+			return nil, err
+		}
+		d.cache[f.Code] = fresh
+		cmd = fresh
 	}
 	if err := cmd.UnmarshalData(f.Data); err != nil {
 		return nil, fmt.Errorf("decode %v: %w", f.Code, err)
@@ -221,17 +286,31 @@ func EncodeFrame(id uint8, cmd Command, tail []byte) Frame {
 	}
 }
 
+// AppendSignalFrame appends the wire form of one signaling frame — the
+// 4-byte command header, the command data, then the garbage tail beyond
+// the declared length — to dst, returning the extended slice and the
+// declared frame size (header + data, tail excluded). It is the
+// allocation-free core of SignalPacket: hot paths hand it a reused
+// scratch buffer.
+func AppendSignalFrame(dst []byte, id uint8, cmd Command, tail []byte) (out []byte, declared int) {
+	start := len(dst)
+	dst = append(dst, uint8(cmd.Code()), id, 0, 0)
+	dst = cmd.AppendData(dst)
+	dataLen := len(dst) - start - SignalHeaderSize
+	binary.LittleEndian.PutUint16(dst[start+2:start+4], uint16(dataLen))
+	dst = append(dst, tail...)
+	return dst, SignalHeaderSize + dataLen
+}
+
 // SignalPacket builds a complete basic frame carrying a single signaling
 // command on the signaling channel. The declared lengths describe the
 // command without the tail, reproducing the paper's Figure 7 layout where
 // garbage lives beyond every declared length.
 func SignalPacket(id uint8, cmd Command, tail []byte) Packet {
-	f := EncodeFrame(id, cmd, tail)
-	data := f.MarshalTo(nil)
-	declared := SignalHeaderSize + len(f.Data)
+	payload, declared := AppendSignalFrame(nil, id, cmd, tail)
 	return Packet{
 		Length:    uint16(min(declared, MaxPayload)),
 		ChannelID: CIDSignaling,
-		Payload:   data,
+		Payload:   payload,
 	}
 }

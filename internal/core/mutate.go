@@ -20,6 +20,12 @@ type Mutator struct {
 	// garbage draws — and therefore every historical packet schedule —
 	// untouched.
 	creditRNG *rand.Rand
+
+	// Reused scratch state: one packet is in flight per mutator at a
+	// time, so Mutate can hand out borrows of these.
+	defaults map[l2cap.CommandCode]l2cap.Command
+	tail     []byte
+	payload  []byte
 }
 
 // NewMutator builds a mutator over the given RNG.
@@ -96,25 +102,56 @@ func (mu *Mutator) NormalCIDP() l2cap.CID {
 }
 
 // Garbage produces the tail: length uniform in [0, maxGarbage], bytes
-// uniform.
+// uniform. The returned slice is a borrow of the mutator's scratch
+// buffer, valid until the next Garbage or Mutate call; the RNG draw
+// sequence (one length draw, then one draw per byte) is identical to the
+// historical allocating version, so packet schedules are unchanged.
 func (mu *Mutator) Garbage() []byte {
 	n := mu.rng.Intn(mu.maxGarbage + 1)
 	if n == 0 {
 		return nil
 	}
-	tail := make([]byte, n)
+	if cap(mu.tail) < n {
+		mu.tail = make([]byte, n)
+	}
+	tail := mu.tail[:n]
 	for i := range tail {
 		tail[i] = byte(mu.rng.Intn(256))
 	}
 	return tail
 }
 
+// defaultCommand returns the mutator's reusable command instance for
+// code. Every field the mutation loop can touch is overwritten on every
+// Mutate call (core fields always; credit fields whenever the credit
+// stream is enabled), so reusing the instance leaves packet contents
+// identical to building a fresh default each time.
+func (mu *Mutator) defaultCommand(code l2cap.CommandCode) (l2cap.Command, error) {
+	if cmd, ok := mu.defaults[code]; ok {
+		return cmd, nil
+	}
+	cmd, err := l2cap.DefaultCommand(code)
+	if err != nil {
+		return nil, err
+	}
+	if mu.defaults == nil {
+		mu.defaults = make(map[l2cap.CommandCode]l2cap.Command)
+	}
+	mu.defaults[code] = cmd
+	return cmd, nil
+}
+
 // Mutate implements Algorithm 1 for one command code: build the default
 // command (D and MA fields at their defaults), overwrite the mutable-core
 // fields, and append garbage. The identifier is supplied by the caller so
 // the packet stream stays protocol-plausible.
+//
+// The returned packet's payload is a borrow of the mutator's scratch
+// buffer, valid until the next Mutate call: the fuzzing loop sends (and
+// the client marshals) each packet before generating the next. Callers
+// that retain a packet must copy its payload.
 func (mu *Mutator) Mutate(id uint8, code l2cap.CommandCode) (l2cap.Packet, Mutation, error) {
-	cmd, err := l2cap.DefaultCommand(code)
+	cmd, err := mu.defaultCommand(code)
 	if err != nil {
 		return l2cap.Packet{}, Mutation{}, fmt.Errorf("mutate: %w", err)
 	}
@@ -148,7 +185,13 @@ func (mu *Mutator) Mutate(id uint8, code l2cap.CommandCode) (l2cap.Packet, Mutat
 
 	tail := mu.Garbage()
 	info.GarbageLen = len(tail)
-	return l2cap.SignalPacket(id, cmd, tail), info, nil
+	payload, declared := l2cap.AppendSignalFrame(mu.payload[:0], id, cmd, tail)
+	mu.payload = payload
+	return l2cap.Packet{
+		Length:    uint16(min(declared, l2cap.MaxPayload)),
+		ChannelID: l2cap.CIDSignaling,
+		Payload:   payload,
+	}, info, nil
 }
 
 // creditValue samples one credit-negotiation field: the boundary values

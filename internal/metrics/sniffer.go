@@ -46,6 +46,10 @@ type Sniffer struct {
 	allocated map[l2cap.CID]bool
 	pendingTx map[uint8]l2cap.CommandCode // tester request id → code
 
+	// Reused decode scratch: taps never nest, so one of each suffices.
+	dec       l2cap.Decoder
+	sigFrames []l2cap.Frame
+
 	// rejectedByCode correlates received Command Reject packets back to
 	// the command code of the tester request they answered (matched via
 	// pendingTx by signaling identifier). Rejects whose identifier
@@ -83,7 +87,7 @@ func (s *Sniffer) onFrame(f radio.TapFrame) {
 	}
 	s.lastTime = f.Time
 
-	acl, err := hci.UnmarshalACL(f.Data)
+	acl, err := hci.ParseACL(f.Data)
 	if err != nil {
 		return
 	}
@@ -111,11 +115,12 @@ func (s *Sniffer) onTx(raw []byte) {
 		s.mpSeries = append(s.mpSeries, SamplePoint{X: s.transmitted, Y: s.malformed})
 	}()
 
-	pkt, err := l2cap.UnmarshalPacket(raw)
+	pkt, err := l2cap.ParsePacket(raw)
 	if err != nil || !pkt.IsSignaling() {
 		return // data-plane traffic (e.g. SDP) is normal
 	}
-	frames, err := l2cap.ParseSignals(pkt.Payload)
+	frames, err := l2cap.AppendSignals(s.sigFrames[:0], pkt.Payload)
+	s.sigFrames = frames[:0]
 	if err != nil {
 		s.invalidTx++
 		return
@@ -126,7 +131,7 @@ func (s *Sniffer) onTx(raw []byte) {
 	// hide the later ones from the coverage accounting.
 	verdict := false
 	for _, fr := range frames {
-		cmd, err := l2cap.DecodeCommand(fr)
+		cmd, err := s.dec.Decode(fr)
 		if err != nil {
 			s.invalidTx++
 			continue
@@ -173,11 +178,12 @@ func (s *Sniffer) onRx(raw []byte) {
 		s.prSeries = append(s.prSeries, SamplePoint{X: s.received, Y: s.rejections})
 	}()
 
-	pkt, err := l2cap.UnmarshalPacket(raw)
+	pkt, err := l2cap.ParsePacket(raw)
 	if err != nil || !pkt.IsSignaling() {
 		return
 	}
-	frames, err := l2cap.ParseSignals(pkt.Payload)
+	frames, err := l2cap.AppendSignals(s.sigFrames[:0], pkt.Payload)
+	s.sigFrames = frames[:0]
 	if err != nil {
 		return
 	}
@@ -185,7 +191,7 @@ func (s *Sniffer) onRx(raw []byte) {
 	// observed.
 	verdict := false
 	for _, fr := range frames {
-		cmd, err := l2cap.DecodeCommand(fr)
+		cmd, err := s.dec.Decode(fr)
 		if err != nil {
 			continue
 		}

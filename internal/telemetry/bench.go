@@ -27,6 +27,12 @@ type BenchRow struct {
 	MBPerOp float64 `json:"mbPerOp"`
 	// AllocsPerOp is heap allocations over the run.
 	AllocsPerOp int64 `json:"allocsPerOp"`
+	// ParentOnly marks rows whose MBPerOp/AllocsPerOp cover only the
+	// measuring (parent) process: process-isolated executor rows run the
+	// actual fuzzing in worker subprocesses, whose allocations
+	// runtime.MemStats cannot see. Renderers must not compare such a
+	// row's allocation columns against in-process rows.
+	ParentOnly bool `json:"parentOnly,omitempty"`
 }
 
 // BenchSnapshot is a committed benchmark trajectory datum
