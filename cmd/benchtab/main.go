@@ -8,17 +8,21 @@
 //	benchtab -exp tableVI [-seed 11]
 //	benchtab -exp tableVII [-packets 100000]
 //	benchtab -exp fig8 | fig9 | fig10 | fig11
-//	benchtab -exp trajectory [-benchdir .]
+//	benchtab -exp trajectory [-benchdir .] [-csv]
 //	benchtab -exp all
 //
 // The trajectory experiment is not part of the paper: it renders the
 // repo's own cross-PR performance trajectory from every committed
 // BENCH_<pr>.json snapshot (pkts/s, MB/op, allocs/op and deltas per PR).
+// With -csv it emits the same points as machine-readable CSV through
+// the analyzer's shared CSV pipeline, column-compatible with the
+// l2journal per-run exports.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,6 +31,7 @@ import (
 
 	"l2fuzz/internal/harness"
 	"l2fuzz/internal/telemetry"
+	"l2fuzz/internal/telemetry/analyze"
 )
 
 func main() {
@@ -42,6 +47,7 @@ func run() error {
 		seed     = flag.Int64("seed", 11, "random seed")
 		packets  = flag.Int("packets", 100_000, "per-fuzzer packet budget for the comparison experiments")
 		benchdir = flag.String("benchdir", ".", "directory holding BENCH_<pr>.json snapshots for -exp trajectory")
+		csvOut   = flag.Bool("csv", false, "emit -exp trajectory as CSV instead of the text table")
 	)
 	flag.Parse()
 
@@ -54,12 +60,21 @@ func run() error {
 	ran := false
 
 	if run["trajectory"] {
-		out, err := renderTrajectory(*benchdir)
+		snaps, err := loadTrajectory(*benchdir)
 		if err != nil {
 			return err
 		}
-		fmt.Println(out)
+		if *csvOut {
+			if err := trajectoryCSV(os.Stdout, snaps); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println(telemetry.RenderBenchTrajectory(snaps))
+		}
 		ran = true
+	}
+	if *csvOut && !run["trajectory"] {
+		return fmt.Errorf("-csv only applies to -exp trajectory")
 	}
 
 	if run["tableV"] {
@@ -125,12 +140,12 @@ func run() error {
 	return nil
 }
 
-// renderTrajectory loads every BENCH_<pr>.json under dir, sorted by PR
-// number, and renders the cross-PR performance table.
-func renderTrajectory(dir string) (string, error) {
+// loadTrajectory loads every BENCH_<pr>.json under dir, sorted by PR
+// number.
+func loadTrajectory(dir string) ([]telemetry.TrajectorySnapshot, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	type entry struct {
 		pr   int
@@ -146,16 +161,40 @@ func renderTrajectory(dir string) (string, error) {
 		entries = append(entries, entry{pr: pr, path: p})
 	}
 	if len(entries) == 0 {
-		return "", fmt.Errorf("no BENCH_<pr>.json snapshots under %s", dir)
+		return nil, fmt.Errorf("no BENCH_<pr>.json snapshots under %s", dir)
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].pr < entries[j].pr })
 	var snaps []telemetry.TrajectorySnapshot
 	for _, e := range entries {
 		s, err := telemetry.ReadBenchSnapshot(e.path)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		snaps = append(snaps, telemetry.TrajectorySnapshot{Label: strconv.Itoa(e.pr), Snapshot: s})
 	}
-	return telemetry.RenderBenchTrajectory(snaps), nil
+	return snaps, nil
+}
+
+// trajectoryCSV writes the trajectory points through the analyzer's
+// shared CSV pipeline: one row per (PR, bench row) measurement.
+func trajectoryCSV(w io.Writer, snaps []telemetry.TrajectorySnapshot) error {
+	header := []string{"pr", "bench", "row", "pkts_per_sec", "mb_per_op", "allocs_per_op", "parent_only"}
+	var rows [][]string
+	for _, ts := range snaps {
+		for _, r := range ts.Snapshot.Rows {
+			if strings.HasPrefix(r.Name, "pre/") {
+				continue // same-host baselines, not trajectory points
+			}
+			rows = append(rows, []string{
+				ts.Label,
+				ts.Snapshot.Bench,
+				r.Name,
+				strconv.FormatFloat(r.PktsPerSec, 'f', 1, 64),
+				strconv.FormatFloat(r.MBPerOp, 'f', 3, 64),
+				strconv.FormatInt(r.AllocsPerOp, 10),
+				strconv.FormatBool(r.ParentOnly),
+			})
+		}
+	}
+	return analyze.WriteCSV(w, header, rows)
 }

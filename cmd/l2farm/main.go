@@ -53,9 +53,12 @@
 // (expvar), /snapshot (the mid-run farm report as JSON) and
 // /debug/pprof. -journal DIR records the run as a structured JSONL
 // journal in a fresh DIR/run-<timestamp>-<pid>/journal.jsonl: the farm
-// configuration, every job start, job result and finding as timestamped
-// records, plus a counter sample every second. A journal replays into
-// the exact live report with l2fuzz.ReplayFleetJournal.
+// configuration, every job start, job result (with its trace span) and
+// finding as timestamped records, plus a counter sample every
+// -journal-interval (1s by default; the chosen period is recorded in
+// the journal header). A journal replays into the exact live report
+// with l2fuzz.ReplayFleetJournal, and renders into the paper's
+// coverage-over-time figures with the companion l2journal command.
 //
 // Usage:
 //
@@ -64,7 +67,7 @@
 //	       [-device-file spec.json]... [-shards 1] [-workers 0] [-seed 1]
 //	       [-max-packets 250000] [-budget D3=500000]... [-corpus dir]
 //	       [-exec local|proc] [-procs 0] [-job-deadline 0]
-//	       [-telemetry addr] [-journal dir]
+//	       [-telemetry addr] [-journal dir] [-journal-interval 1s]
 //	       [-measure] [-quiet] [-stream] [-dump]
 //
 // Examples:
@@ -207,20 +210,21 @@ func run() error {
 	budgets := make(budgetFlag)
 	var specFiles specFileFlag
 	var (
-		devices     = flag.String("devices", "all", "comma-separated catalog IDs, \"all\" for the Table V testbed, or \"none\" to farm -device-file targets alone")
-		fuzzers     = flag.String("fuzzers", "l2fuzz", "comma-separated fuzzer kinds, or \"all\"")
-		ablations   = flag.String("ablations", "", "comma-separated §IV-D variants (baseline, no-state-guiding, all-fields, no-garbage), or \"all\" for the whole grid")
-		shards      = flag.Int("shards", 1, "seed shards per (device, fuzzer, variant) cell")
-		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		seed        = flag.Int64("seed", 1, "farm base seed")
-		maxPackets  = flag.Int("max-packets", 0, "per-job packet budget (0 = library default)")
-		corpusDir   = flag.String("corpus", "", "persist findings with repro traces into this corpus directory; known signatures are reported as such (replay them with l2repro)")
-		telemetry   = flag.String("telemetry", "", "serve live metrics on this address (/metrics, /debug/vars, /snapshot, /debug/pprof)")
-		journalDir  = flag.String("journal", "", "record the run as a JSONL journal in a fresh run directory under this path")
-		execMode    = flag.String("exec", "local", "job execution transport: \"local\" (in-process pool) or \"proc\" (worker subprocesses)")
-		procs       = flag.Int("procs", 0, "worker subprocess count for -exec proc (0 = worker pool size)")
-		jobDeadline = flag.Duration("job-deadline", 0, "kill a -exec proc worker holding one job past this duration and retry the job (0 = no deadline)")
-		workerMode  = flag.Bool("worker", false, "run as a farm worker subprocess on stdin/stdout (spawned by -exec proc; not for interactive use)")
+		devices      = flag.String("devices", "all", "comma-separated catalog IDs, \"all\" for the Table V testbed, or \"none\" to farm -device-file targets alone")
+		fuzzers      = flag.String("fuzzers", "l2fuzz", "comma-separated fuzzer kinds, or \"all\"")
+		ablations    = flag.String("ablations", "", "comma-separated §IV-D variants (baseline, no-state-guiding, all-fields, no-garbage), or \"all\" for the whole grid")
+		shards       = flag.Int("shards", 1, "seed shards per (device, fuzzer, variant) cell")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		seed         = flag.Int64("seed", 1, "farm base seed")
+		maxPackets   = flag.Int("max-packets", 0, "per-job packet budget (0 = library default)")
+		corpusDir    = flag.String("corpus", "", "persist findings with repro traces into this corpus directory; known signatures are reported as such (replay them with l2repro)")
+		telemetry    = flag.String("telemetry", "", "serve live metrics on this address (/metrics, /debug/vars, /snapshot, /debug/pprof)")
+		journalDir   = flag.String("journal", "", "record the run as a JSONL journal in a fresh run directory under this path")
+		journalEvery = flag.Duration("journal-interval", time.Second, "counter-sample period of the -journal recording (recorded in the journal header)")
+		execMode     = flag.String("exec", "local", "job execution transport: \"local\" (in-process pool) or \"proc\" (worker subprocesses)")
+		procs        = flag.Int("procs", 0, "worker subprocess count for -exec proc (0 = worker pool size)")
+		jobDeadline  = flag.Duration("job-deadline", 0, "kill a -exec proc worker holding one job past this duration and retry the job (0 = no deadline)")
+		workerMode   = flag.Bool("worker", false, "run as a farm worker subprocess on stdin/stdout (spawned by -exec proc; not for interactive use)")
 
 		measure = flag.Bool("measure", false, "measurement-grade targets: defects disabled, metrics only")
 		quiet   = flag.Bool("quiet", false, "suppress per-job progress lines")
@@ -256,7 +260,14 @@ func run() error {
 	if *telemetry != "" || *journalDir != "" {
 		cfg.Counters = &l2fuzz.TelemetryCounters{}
 	}
-	if *journalDir != "" {
+	if *journalDir == "" {
+		if *journalEvery != time.Second {
+			return fmt.Errorf("-journal-interval requires -journal")
+		}
+	} else {
+		if *journalEvery <= 0 {
+			return fmt.Errorf("-journal-interval must be positive, got %v", *journalEvery)
+		}
 		runDir := filepath.Join(*journalDir,
 			fmt.Sprintf("run-%s-%d", time.Now().UTC().Format("20060102-150405"), os.Getpid()))
 		journal, err := l2fuzz.OpenTelemetryJournal(runDir)
@@ -264,6 +275,9 @@ func run() error {
 			return err
 		}
 		cfg.Journal = journal
+		// The header records the sampler period so an analyzer can label
+		// the sampled series' time axis honestly.
+		cfg.SampleInterval = *journalEvery
 		fmt.Fprintln(os.Stderr, "l2farm: journaling to", filepath.Join(runDir, l2fuzz.TelemetryJournalFile))
 	}
 	switch *devices {
@@ -348,7 +362,7 @@ func run() error {
 	}
 	stopSampler := func() {}
 	if cfg.Journal != nil {
-		stopSampler = cfg.Journal.StartSampler(cfg.Counters, time.Second)
+		stopSampler = cfg.Journal.StartSampler(cfg.Counters, cfg.SampleInterval)
 	}
 	// Progress-line job column: 34 runes fits the longest catalog job
 	// name ("D8×Defensics[no-state-guiding]/99" is 33); custom targets

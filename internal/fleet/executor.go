@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"errors"
+	"time"
 )
 
 // Executor abstracts where a farm's jobs physically run. The farm —
@@ -78,10 +79,15 @@ func (e *LocalExecutor) Start(cfg Config) error {
 
 // Execute runs the job on the calling goroutine. It never returns a
 // transport error: the job runs to completion in-process or records its
-// failure in the result.
+// failure in the result. Execution starts immediately — StartedNs is
+// stamped here and ExecNs measured around the run, so a local job's
+// Span.Transport is (near) zero by construction.
 func (e *LocalExecutor) Execute(_ context.Context, job Job) (JobResult, error) {
+	started := time.Now()
 	res := runJob(e.cfg, job)
 	res.Worker = LocalWorkerID
+	res.Span.StartedNs = sinceEpoch(e.cfg.epoch, started)
+	res.Span.ExecNs = time.Since(started)
 	return res, nil
 }
 

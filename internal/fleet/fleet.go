@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"math"
 	"runtime"
+	"time"
 
 	"l2fuzz/internal/bt/device"
 	"l2fuzz/internal/corpus"
@@ -127,8 +128,18 @@ type Config struct {
 	// farm header at Start, then every job start, job result and fresh
 	// finding in emission order. ReplayJournal folds a persisted stream
 	// back into the Report the live farm produced. Journal write errors
-	// never stop the farm; check Journal.Err after the run.
+	// never stop the farm; check Journal.Err after the run. Start
+	// re-bases the journal's record offsets onto the farm's own start
+	// time, so samples, events and job trace spans share one monotonic
+	// clock origin.
 	Journal *telemetry.Journal
+	// SampleInterval is how often the run's counter sampler writes
+	// RecordSample records into the Journal. The farm itself runs no
+	// sampler — the caller that does (cmd/l2farm) sets this to the
+	// interval it starts the sampler with, and the farm records it in
+	// the journal header so an analyzer can label the sampled series'
+	// time axis honestly. Zero omits it from the header.
+	SampleInterval time.Duration
 	// Executor, when set, runs the farm's jobs: the in-process pool
 	// (LocalExecutor, the default when nil) or subprocess workers
 	// (ProcExecutor). The farm owns its lifecycle — Start before the
@@ -144,6 +155,11 @@ type Config struct {
 	// on proc workers whose coordinator holds the store, never by
 	// callers.
 	forceRecord bool
+	// epoch is the farm's span clock origin — the Start timestamp —
+	// against which executors stamp JobResult.Span offsets. Zero on
+	// configs that never went through Start (replay, hand-built
+	// aggregators), whose spans then stay zero.
+	epoch time.Time
 }
 
 // recordTraces reports whether jobs should record repro traces: the

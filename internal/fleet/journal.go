@@ -17,8 +17,10 @@ import (
 // journal written under a different version rather than silently
 // misfolding it. Version 2 added the encoded target spec to job
 // records, the executor worker id to result records, and the worker
-// lifecycle record.
-const journalVersion = 2
+// lifecycle record. Version 3 added the per-job trace span to result
+// records and the counter-sample interval to the header, and re-based
+// every record's envelope offset onto the farm's start time.
+const journalVersion = 3
 
 // The farm's journal record types. A journal additionally carries
 // telemetry.RecordSample records when the writer runs a counter
@@ -42,6 +44,11 @@ type journalFarm struct {
 	Kinds    []Kind   `json:"kinds"`
 	Variants []string `json:"variants"`
 	Shards   int      `json:"shards"`
+	// SampleInterval is how often the run's counter sampler wrote
+	// RecordSample records, when the writer declared it
+	// (Config.SampleInterval); an analyzer labels the sampled series'
+	// time axis with it. Zero means unknown or no sampler.
+	SampleInterval time.Duration `json:"sampleIntervalNs,omitempty"`
 }
 
 // journalJob is a Job with its resolved target spec inline: specs are
@@ -80,6 +87,7 @@ type journalResult struct {
 	PacketsSent int                 `json:"packetsSent"`
 	ElapsedNs   time.Duration       `json:"elapsedNs"`
 	WallNs      time.Duration       `json:"wallNs"`
+	Span        Span                `json:"span"`
 	Crashed     bool                `json:"crashed,omitempty"`
 	Findings    []journalOccurrence `json:"findings,omitempty"`
 	Summary     metrics.Summary     `json:"summary"`
@@ -137,12 +145,13 @@ func (f *Farm) journalHeader(jobs []Job) {
 		return
 	}
 	hdr := journalFarm{
-		Version:  journalVersion,
-		Jobs:     len(jobs),
-		Workers:  f.cfg.Workers,
-		BaseSeed: f.cfg.BaseSeed,
-		Shards:   f.cfg.Shards,
-		Kinds:    f.cfg.Kinds,
+		Version:        journalVersion,
+		Jobs:           len(jobs),
+		Workers:        f.cfg.Workers,
+		BaseSeed:       f.cfg.BaseSeed,
+		Shards:         f.cfg.Shards,
+		Kinds:          f.cfg.Kinds,
+		SampleInterval: f.cfg.SampleInterval,
 	}
 	for _, t := range f.cfg.targets {
 		hdr.Targets = append(hdr.Targets, t.Name)
@@ -173,6 +182,7 @@ func (f *Farm) journalResult(res JobResult) {
 		PacketsSent: res.PacketsSent,
 		ElapsedNs:   res.Elapsed,
 		WallNs:      res.Wall,
+		Span:        res.Span,
 		Crashed:     res.Crashed,
 		Summary:     res.Summary,
 		Done:        f.done,
@@ -204,8 +214,9 @@ func (f *Farm) journalWorker(ev WorkerEvent) {
 // ReplayJournal folds a persisted run journal back into a Report, using
 // the same Aggregator the live farm used, so the replayed report equals
 // the live one field for field — job results (including per-job wall
-// times, which are read from the journal, not re-measured), breakdown
-// tables, merged metrics and de-duplicated findings. Only the top-level
+// times and trace spans, which are read from the journal, not
+// re-measured), breakdown tables, merged metrics and de-duplicated
+// findings. Only the top-level
 // Wall is zero: the farm stamps it from its own clock, which a replay
 // does not have.
 //
@@ -261,6 +272,7 @@ func ReplayJournal(cfg Config, r io.Reader) (*Report, error) {
 				PacketsSent: jr.PacketsSent,
 				Elapsed:     jr.ElapsedNs,
 				Wall:        jr.WallNs,
+				Span:        jr.Span,
 				Crashed:     jr.Crashed,
 				Summary:     jr.Summary,
 			}

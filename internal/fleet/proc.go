@@ -223,7 +223,13 @@ func (e *ProcExecutor) acquire(ctx context.Context) (*procWorker, error) {
 // runOn runs one job on one worker. Any error is a transport failure:
 // the worker's pipes are no longer trustworthy.
 func (e *ProcExecutor) runOn(w *procWorker, job Job) (JobResult, error) {
-	if err := w.enc.Encode(toWireJob(job)); err != nil {
+	wj := toWireJob(job)
+	// The span's Started phase begins as the job hits the wire: the
+	// worker echoes the offset back (a desync check) and adds its own
+	// measured execution time, so the coordinator can split this job's
+	// wall into transport vs execute.
+	wj.StartedNs = sinceEpoch(e.cfg.epoch, time.Now())
+	if err := w.enc.Encode(wj); err != nil {
 		return JobResult{}, fmt.Errorf("send job: %w", err)
 	}
 	var timer *time.Timer
@@ -243,6 +249,9 @@ func (e *ProcExecutor) runOn(w *procWorker, job Job) (JobResult, error) {
 	}
 	if wr.Index != job.Index {
 		return JobResult{}, fmt.Errorf("answered job %d while running job %d", wr.Index, job.Index)
+	}
+	if wr.StartedNs != wj.StartedNs {
+		return JobResult{}, fmt.Errorf("answered span %v while running span %v of job %d", wr.StartedNs, wj.StartedNs, job.Index)
 	}
 	if wr.Counters != nil {
 		// Fold the worker's per-job telemetry delta into the farm's

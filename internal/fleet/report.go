@@ -40,6 +40,12 @@ type JobResult struct {
 	// Wall is the job's real-time duration on its worker, measured
 	// around the job run with the monotonic clock.
 	Wall time.Duration
+	// Span traces the job through the farm's phases — queued,
+	// dispatched, started, finished, plus the in-executor execution
+	// time — as monotonic offsets from the farm's start. Journals
+	// record it, so an analyzer can reconstruct per-phase latency and
+	// per-worker utilization after the run.
+	Span Span
 	// Findings are the job's detections (empty for baseline kinds).
 	Findings []Occurrence
 	// Crashed reports whether the target device ended the job crashed.
@@ -293,15 +299,16 @@ func (r *Report) Render() string {
 }
 
 // ScrubWall zeroes every real-time field — the farm Wall, the summed
-// per-job wall, each job's Wall and every per-group wall sum — so
-// reports from separate runs can be compared for everything except
-// wall-clock time. Simulated durations are untouched: they are
-// deterministic and comparisons should cover them.
+// per-job wall, each job's Wall and trace Span, and every per-group
+// wall sum — so reports from separate runs can be compared for
+// everything except wall-clock time. Simulated durations are
+// untouched: they are deterministic and comparisons should cover them.
 func (r *Report) ScrubWall() {
 	r.Wall = 0
 	r.TotalJobWall = 0
 	for i := range r.Jobs {
 		r.Jobs[i].Wall = 0
+		r.Jobs[i].Span = Span{}
 	}
 	for _, g := range r.PerDevice {
 		g.Wall = 0

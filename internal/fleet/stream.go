@@ -108,9 +108,11 @@ type Farm struct {
 	emitMu sync.Mutex
 	done   int
 
-	// retryMu guards the per-job transport-failure counts.
+	// retryMu guards the per-job transport-failure counts and the
+	// per-job queued timestamps.
 	retryMu  sync.Mutex
 	attempts map[int]int
+	queued   map[int]time.Duration
 }
 
 // Start validates the matrix and launches the farm: the executor is
@@ -128,14 +130,19 @@ func Start(cfg Config) (*Farm, error) {
 	if exec == nil {
 		exec = &LocalExecutor{}
 	}
+	// The farm's start is the run's one monotonic clock origin: job
+	// trace spans (stamped here and inside executors via cfg.epoch) and
+	// journal record offsets (via SetEpoch below) all measure from it.
+	cfg.epoch = time.Now()
 	f := &Farm{
 		cfg:      cfg,
 		exec:     exec,
 		total:    len(jobs),
 		agg:      newAggregator(cfg, len(jobs)),
 		events:   make(chan Event),
-		start:    time.Now(),
+		start:    cfg.epoch,
 		attempts: make(map[int]int),
+		queued:   make(map[int]time.Duration),
 	}
 	if n, ok := exec.(workerNotifier); ok {
 		n.setNotify(f.emitWorker)
@@ -144,6 +151,9 @@ func Start(cfg Config) (*Farm, error) {
 		return nil, err
 	}
 
+	if cfg.Journal != nil {
+		cfg.Journal.SetEpoch(f.start)
+	}
 	f.journalHeader(jobs)
 
 	// The feed holds the whole matrix, so requeueing a job a worker
@@ -201,7 +211,7 @@ func (f *Farm) Events() <-chan Event { return f.events }
 func (f *Farm) dispatch() {
 	for job := range f.feed {
 		f.emitStarted(job)
-		start := time.Now()
+		dispatched := time.Now()
 		res, err := f.exec.Execute(context.Background(), job)
 		if err != nil {
 			if f.requeue(job, err) {
@@ -209,9 +219,24 @@ func (f *Farm) dispatch() {
 			}
 			res = JobResult{Job: job, Err: fmt.Errorf("executor: %w", err)}
 		}
-		res.Wall = time.Since(start)
+		res.Wall = time.Since(dispatched)
+		// The dispatcher owns the span's farm-side phases; the executor
+		// stamped StartedNs/ExecNs during Execute (both stay zero on the
+		// past-retry failure path above — the job never executed).
+		res.Span.QueuedNs = f.queuedAt(job.Index)
+		res.Span.DispatchedNs = sinceEpoch(f.start, dispatched)
+		res.Span.FinishedNs = sinceEpoch(f.start, time.Now())
 		f.finish(res)
 	}
+}
+
+// queuedAt reports when a job last entered the feed: zero for the
+// initial enqueue (the whole matrix is queued at farm start), the
+// requeue time for jobs a worker died under.
+func (f *Farm) queuedAt(index int) time.Duration {
+	f.retryMu.Lock()
+	defer f.retryMu.Unlock()
+	return f.queued[index]
 }
 
 // requeue returns a transport-failed job to the feed and reports
@@ -225,6 +250,11 @@ func (f *Farm) requeue(job Job, err error) bool {
 	f.retryMu.Lock()
 	f.attempts[job.Index]++
 	n := f.attempts[job.Index]
+	if n < maxJobAttempts {
+		// Re-stamp the queued time under the same lock that counted the
+		// attempt: the span's queue phase restarts with the retry.
+		f.queued[job.Index] = sinceEpoch(f.start, time.Now())
+	}
 	f.retryMu.Unlock()
 	if n >= maxJobAttempts {
 		return false

@@ -23,8 +23,12 @@ import (
 // test pins their field paths so drift is deliberate.
 //
 // wireVersion pins the protocol. Both sides refuse a peer speaking a
-// different version rather than mis-reading its frames.
-const wireVersion = 1
+// different version rather than mis-reading its frames. Version 2
+// added span context: jobs carry their dispatch offset on the farm
+// clock (echoed back as a desync check alongside the index) and
+// results carry the worker-measured execution wall time, so the
+// coordinator can split a proc job's wall into transport vs execute.
+const wireVersion = 2
 
 // wireHello is the worker's opening message.
 type wireHello struct {
@@ -62,6 +66,12 @@ type wireJob struct {
 	Shard      int          `json:"shard"`
 	Seed       int64        `json:"seed"`
 	MaxPackets int          `json:"maxPackets"`
+	// StartedNs is the job's span context: the offset on the farm's
+	// monotonic clock at which the coordinator put the job on the wire.
+	// The worker has no shared clock, so it cannot extend the span — it
+	// echoes the value back in its result, giving the coordinator a
+	// second desync check beyond the job index.
+	StartedNs time.Duration `json:"startedNs"`
 }
 
 // wireOccurrence is one finding occurrence. The repro trace travels in
@@ -79,14 +89,20 @@ type wireOccurrence struct {
 // wireResult is one job's outcome, echoing the job index so the
 // coordinator can detect a desynchronized worker.
 type wireResult struct {
-	Index       int                        `json:"index"`
-	Err         string                     `json:"err,omitempty"`
-	PacketsSent int                        `json:"packetsSent"`
-	ElapsedNs   time.Duration              `json:"elapsedNs"`
-	Crashed     bool                       `json:"crashed,omitempty"`
-	Findings    []wireOccurrence           `json:"findings,omitempty"`
-	Summary     metrics.Summary            `json:"summary"`
-	Counters    *telemetry.CounterSnapshot `json:"counters,omitempty"`
+	Index       int           `json:"index"`
+	Err         string        `json:"err,omitempty"`
+	PacketsSent int           `json:"packetsSent"`
+	ElapsedNs   time.Duration `json:"elapsedNs"`
+	// StartedNs echoes the job's span context (see wireJob). ExecNs is
+	// the execution wall time the worker measured around its own job
+	// run — the coordinator subtracts it from the span's wire window to
+	// isolate the transport cost.
+	StartedNs time.Duration              `json:"startedNs"`
+	ExecNs    time.Duration              `json:"execNs"`
+	Crashed   bool                       `json:"crashed,omitempty"`
+	Findings  []wireOccurrence           `json:"findings,omitempty"`
+	Summary   metrics.Summary            `json:"summary"`
+	Counters  *telemetry.CounterSnapshot `json:"counters,omitempty"`
 }
 
 // toWireJob strips a job to its wire form.
@@ -117,6 +133,11 @@ func fromWireResult(wr wireResult, job Job, workerID string) JobResult {
 		Crashed:     wr.Crashed,
 		Summary:     wr.Summary,
 	}
+	// The span's executor-side phases come back over the wire: Started
+	// from the coordinator's own send stamp (echoed), Exec measured by
+	// the worker. The dispatcher fills the farm-side phases.
+	res.Span.StartedNs = wr.StartedNs
+	res.Span.ExecNs = wr.ExecNs
 	if wr.Err != "" {
 		res.Err = errors.New(wr.Err)
 	}
@@ -194,11 +215,14 @@ func workerRun(fc wireFarm, wj wireJob) wireResult {
 		Seed:       wj.Seed,
 		MaxPackets: wj.MaxPackets,
 	}
+	execStart := time.Now()
 	res := runJob(cfg, job)
 	wr := wireResult{
 		Index:       wj.Index,
 		PacketsSent: res.PacketsSent,
 		ElapsedNs:   res.Elapsed,
+		StartedNs:   wj.StartedNs,
+		ExecNs:      time.Since(execStart),
 		Crashed:     res.Crashed,
 		Summary:     res.Summary,
 	}

@@ -1,0 +1,104 @@
+package analyze
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes one header row plus data rows — the one CSV pipeline
+// every figure (and benchtab's trajectory export) goes through, so
+// column conventions cannot drift between producers.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("analyze: write csv header: %w", err)
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("analyze: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CoverageCSV writes the coverage curves as one row per fold event:
+// the shared offset plus each cumulative value. All four curves jump
+// at the same fold offsets, so rows align one-to-one across series.
+func CoverageCSV(w io.Writer, c Coverage) error {
+	header := []string{"offset_ns", "seconds", SeriesPackets, SeriesMalformed, SeriesStates, SeriesFindings}
+	n := len(c.ByName(SeriesPackets).Points)
+	rows := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(header))
+		at := c.ByName(SeriesPackets).Points[i].At
+		row = append(row,
+			strconv.FormatInt(int64(at), 10),
+			strconv.FormatFloat(at.Seconds(), 'f', 6, 64))
+		for _, name := range []string{SeriesPackets, SeriesMalformed, SeriesStates, SeriesFindings} {
+			row = append(row, strconv.Itoa(c.ByName(name).Points[i].Value))
+		}
+		rows = append(rows, row)
+	}
+	return WriteCSV(w, header, rows)
+}
+
+// LatencyCSV writes the per-group wall-time table.
+func LatencyCSV(w io.Writer, by GroupBy, rows []LatencyRow) error {
+	header := []string{string(by), "jobs", "failed", "min_ns", "p50_ns", "p90_ns", "max_ns", "mean_ns",
+		"queue_ns", "dispatch_ns", "execute_ns", "transport_ns"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Group,
+			strconv.Itoa(r.Jobs),
+			strconv.Itoa(r.Failed),
+			strconv.FormatInt(int64(r.Min), 10),
+			strconv.FormatInt(int64(r.P50), 10),
+			strconv.FormatInt(int64(r.P90), 10),
+			strconv.FormatInt(int64(r.Max), 10),
+			strconv.FormatInt(int64(r.Mean), 10),
+			strconv.FormatInt(int64(r.Phases.Queue), 10),
+			strconv.FormatInt(int64(r.Phases.Dispatch), 10),
+			strconv.FormatInt(int64(r.Phases.Execute), 10),
+			strconv.FormatInt(int64(r.Phases.Transport), 10),
+		})
+	}
+	return WriteCSV(w, header, out)
+}
+
+// WorkersCSV writes the per-worker utilization table.
+func WorkersCSV(w io.Writer, rows []WorkerRow) error {
+	header := []string{"worker", "jobs", "busy_ns", "util"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Worker,
+			strconv.Itoa(r.Jobs),
+			strconv.FormatInt(int64(r.Busy), 10),
+			strconv.FormatFloat(r.Util, 'f', 4, 64),
+		})
+	}
+	return WriteCSV(w, header, out)
+}
+
+// TrendCSV writes the per-series comparison table.
+func TrendCSV(w io.Writer, t Trend) error {
+	header := []string{"series", "base_final", "cur_final", "base_auc", "cur_auc", "total_drop", "auc_drop", "regressed"}
+	out := make([][]string, 0, len(t.Series))
+	for _, d := range t.Series {
+		out = append(out, []string{
+			d.Name,
+			strconv.Itoa(d.BaseFinal),
+			strconv.Itoa(d.CurFinal),
+			strconv.FormatFloat(d.BaseAUC, 'f', 6, 64),
+			strconv.FormatFloat(d.CurAUC, 'f', 6, 64),
+			strconv.FormatFloat(d.TotalDrop, 'f', 6, 64),
+			strconv.FormatFloat(d.AUCDrop, 'f', 6, 64),
+			strconv.FormatBool(d.Regressed),
+		})
+	}
+	return WriteCSV(w, header, out)
+}

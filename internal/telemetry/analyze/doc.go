@@ -1,0 +1,21 @@
+// Package analyze replays a farm run's journal.jsonl into the paper's
+// evaluation figures: coverage-over-time series (cumulative malformed
+// packets, distinct protocol states, de-duplicated findings against
+// wall time — Figures 8–10), per-device/kind/variant wall-time
+// histograms, and a per-worker utilization timeline. Everything derives
+// from the journal alone — the analyzer never re-runs jobs — and the
+// final point of every cumulative series equals the corresponding total
+// of the report fleet.ReplayJournal folds from the same journal, a
+// correspondence the package's tests pin exactly.
+//
+// The package deliberately decodes the journal with its own mirror
+// structs instead of importing the fleet package: analysis is a pure
+// consumer of the persisted schema (journal version 3), so the
+// dependency points at the record format, not at the farm
+// implementation. Renderers produce aligned text tables (Render*), CSV
+// (*CSV) and self-contained SVG documents (*SVG), all deterministic
+// functions of the parsed run so outputs are diffable and goldenable.
+// CompareTrend diffs two runs' coverage curves — exact on final totals,
+// tolerance-banded on normalized area-under-curve — which is the CI
+// regression gate cmd/l2journal exposes as "l2journal trend".
+package analyze

@@ -1,0 +1,145 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// coverageRows is how many evenly spaced time rows RenderCoverage
+// prints before the exact final row.
+const coverageRows = 10
+
+// sparkLevels are the eight-step block glyphs the text histograms and
+// timelines use.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders values as a block-glyph strip scaled to the strip max.
+func spark(values []float64) string {
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		if max <= 0 || v <= 0 {
+			b.WriteRune(sparkLevels[0])
+			continue
+		}
+		lvl := int(v / max * float64(len(sparkLevels)-1))
+		b.WriteRune(sparkLevels[lvl])
+	}
+	return b.String()
+}
+
+func sparkInts(values []int) string {
+	fs := make([]float64, len(values))
+	for i, v := range values {
+		fs[i] = float64(v)
+	}
+	return spark(fs)
+}
+
+// RenderCoverage prints the coverage figure as an aligned table: the
+// cumulative curves sampled at evenly spaced offsets, closed by the
+// exact final row (the replayed report's totals).
+func RenderCoverage(c Coverage) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Coverage over time: %v run", c.Duration.Round(time.Millisecond))
+	if c.Interval > 0 {
+		fmt.Fprintf(&b, ", counters sampled every %v", c.Interval)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  %10s %12s %12s %8s %9s\n", "t", "packets", "malformed", "states", "findings")
+	row := func(t time.Duration, exact bool) {
+		mark := " "
+		if exact {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "  %10v %12d %12d %8d %9d%s\n",
+			t.Round(time.Millisecond),
+			c.ByName(SeriesPackets).ValueAt(t),
+			c.ByName(SeriesMalformed).ValueAt(t),
+			c.ByName(SeriesStates).ValueAt(t),
+			c.ByName(SeriesFindings).ValueAt(t),
+			mark)
+	}
+	for i := 1; i < coverageRows; i++ {
+		row(c.Duration*time.Duration(i)/coverageRows, false)
+	}
+	row(c.Duration, true)
+	b.WriteString("  (* = final totals, exact against the replayed report)\n")
+	return b.String()
+}
+
+// RenderLatency prints the per-group wall-time table with a histogram
+// sparkline and the span-derived mean phase split.
+func RenderLatency(by GroupBy, rows []LatencyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Job wall time by %s:\n", by)
+	groupW := len(string(by))
+	for _, r := range rows {
+		if len(r.Group) > groupW {
+			groupW = len(r.Group)
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s %5s %6s %10s %10s %10s %10s  %-*s %10s %10s %10s %10s\n",
+		groupW, string(by), "jobs", "failed", "min", "p50", "p90", "max",
+		histBuckets, "hist", "queue", "dispatch", "execute", "transport")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-*s %5d %6d %10v %10v %10v %10v  %s %10v %10v %10v %10v\n",
+			groupW, r.Group, r.Jobs, r.Failed,
+			r.Min.Round(time.Millisecond), r.P50.Round(time.Millisecond),
+			r.P90.Round(time.Millisecond), r.Max.Round(time.Millisecond),
+			sparkInts(r.Hist),
+			r.Phases.Queue.Round(time.Millisecond),
+			r.Phases.Dispatch.Round(time.Millisecond),
+			r.Phases.Execute.Round(time.Millisecond),
+			r.Phases.Transport.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// RenderWorkers prints the per-worker utilization table with a busy
+// timeline sparkline.
+func RenderWorkers(rows []WorkerRow, duration time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Worker utilization over %v:\n", duration.Round(time.Millisecond))
+	workerW := len("worker")
+	for _, r := range rows {
+		if len(r.Worker) > workerW {
+			workerW = len(r.Worker)
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s %5s %10s %6s  %s\n", workerW, "worker", "jobs", "busy", "util", "timeline")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-*s %5d %10v %5.1f%%  %s\n",
+			workerW, r.Worker, r.Jobs, r.Busy.Round(time.Millisecond), 100*r.Util, spark(r.Timeline))
+	}
+	return b.String()
+}
+
+// RenderTrend prints the baseline-vs-current comparison, one row per
+// series, with the regression verdict.
+func RenderTrend(t Trend) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Coverage trend: baseline %v vs current %v\n",
+		t.Base.Duration.Round(time.Millisecond), t.Cur.Duration.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  %-10s %12s %12s %8s %8s  %s\n", "series", "base final", "cur final", "baseAUC", "curAUC", "verdict")
+	for _, d := range t.Series {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED: " + d.Reason
+		}
+		fmt.Fprintf(&b, "  %-10s %12d %12d %8.3f %8.3f  %s\n",
+			d.Name, d.BaseFinal, d.CurFinal, d.BaseAUC, d.CurAUC, verdict)
+	}
+	if t.Regressed {
+		b.WriteString("REGRESSION\n")
+	} else {
+		b.WriteString("no regression\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,217 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The chart chrome palette: a validated light-mode set — one
+// categorical series hue (identity never rides on more than one color
+// per panel), recessive grid and axis inks, and text in ink tokens
+// rather than the series color.
+const (
+	svgSurface  = "#fcfcfb"
+	svgSeries   = "#2a78d6"
+	svgInk      = "#0b0b0b"
+	svgInk2     = "#52514e"
+	svgMuted    = "#898781"
+	svgGrid     = "#e1e0d9"
+	svgBaseline = "#c3c2b7"
+	svgFont     = `font-family="system-ui, -apple-system, 'Segoe UI', sans-serif"`
+)
+
+// svgHeader opens a self-contained SVG document of the given size.
+func svgHeader(b *strings.Builder, w, h int) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" role="img">`+"\n", w, h, w, h)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", w, h, svgSurface)
+}
+
+func svgText(b *strings.Builder, x, y float64, size int, fill, anchor, extra, s string) {
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="%d" fill="%s" text-anchor="%s" %s %s>%s</text>`+"\n",
+		x, y, size, fill, anchor, svgFont, extra, s)
+}
+
+// fmtCount renders an axis count tick compactly (12k, 1.2M).
+func fmtCount(v int) string {
+	switch {
+	case v >= 1_000_000:
+		return strings.TrimSuffix(fmt.Sprintf("%.1f", float64(v)/1e6), ".0") + "M"
+	case v >= 1_000:
+		return strings.TrimSuffix(fmt.Sprintf("%.1f", float64(v)/1e3), ".0") + "k"
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+func fmtSeconds(d time.Duration) string {
+	return strings.TrimSuffix(fmt.Sprintf("%.1f", d.Seconds()), ".0") + "s"
+}
+
+// panel draws one small-multiple: a single cumulative step curve with
+// its own y scale — four measures of four different magnitudes never
+// share an axis — titled with the series name and direct-labeled at
+// its final value.
+func panel(b *strings.Builder, s Series, duration time.Duration, x, y, w, h float64) {
+	const padL, padR, padT, padB = 44, 14, 26, 22
+	plotX, plotY := x+padL, y+padT
+	plotW, plotH := w-padL-padR, h-padT-padB
+	final := s.Final()
+	yMax := final
+	if yMax == 0 {
+		yMax = 1
+	}
+	sx := func(t time.Duration) float64 {
+		if duration <= 0 {
+			return plotX
+		}
+		return plotX + float64(t)/float64(duration)*plotW
+	}
+	sy := func(v int) float64 { return plotY + plotH - float64(v)/float64(yMax)*plotH }
+
+	svgText(b, x+padL, y+16, 13, svgInk2, "start", `font-weight="600"`, s.Name)
+
+	// Hairline grid at the y ticks; the baseline doubles as the 0 tick.
+	for _, v := range []int{yMax / 2, yMax} {
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			plotX, sy(v), plotX+plotW, sy(v), svgGrid)
+		svgText(b, plotX-6, sy(v)+3.5, 10, svgMuted, "end", `font-variant-numeric="tabular-nums"`, fmtCount(v))
+	}
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+		plotX, plotY+plotH, plotX+plotW, plotY+plotH, svgBaseline)
+	svgText(b, plotX-6, plotY+plotH+3.5, 10, svgMuted, "end", `font-variant-numeric="tabular-nums"`, "0")
+	for i := 0; i <= 2; i++ {
+		t := duration * time.Duration(i) / 2
+		svgText(b, sx(t), plotY+plotH+14, 10, svgMuted, "middle", `font-variant-numeric="tabular-nums"`, fmtSeconds(t))
+	}
+
+	// The cumulative curve is a step function: hold each value until
+	// the next fold, then jump.
+	var path strings.Builder
+	for i, p := range s.Points {
+		if i == 0 {
+			fmt.Fprintf(&path, "M%.1f %.1f", sx(p.At), sy(p.Value))
+			continue
+		}
+		fmt.Fprintf(&path, " H%.1f V%.1f", sx(p.At), sy(p.Value))
+	}
+	fmt.Fprintf(&path, " H%.1f", plotX+plotW)
+	fmt.Fprintf(b, `<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`+"\n",
+		path.String(), svgSeries)
+
+	// One selective direct label: the final total, in ink beside a
+	// series-colored end marker.
+	endY := sy(final)
+	fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s" stroke="%s" stroke-width="2"/>`+"\n",
+		plotX+plotW, endY, svgSeries, svgSurface)
+	labelY := endY - 6
+	if labelY < plotY+10 {
+		labelY = endY + 14
+	}
+	svgText(b, plotX+plotW, labelY, 11, svgInk, "end", `font-weight="600" font-variant-numeric="tabular-nums"`, fmtCount(final))
+}
+
+// CoverageSVG renders the coverage figure as a self-contained SVG:
+// the four cumulative curves as 2×2 small multiples on a shared time
+// axis, each panel with its own count scale.
+func CoverageSVG(c Coverage) []byte {
+	const width, height = 960, 620
+	const panelW, panelH = 470, 280
+	var b strings.Builder
+	svgHeader(&b, width, height)
+	svgText(&b, 16, 26, 15, svgInk, "start", `font-weight="600"`, "Coverage over time")
+	sub := fmt.Sprintf("cumulative per fold, %s run", fmtSeconds(c.Duration))
+	if c.Interval > 0 {
+		sub += fmt.Sprintf(", counters sampled every %s", c.Interval)
+	}
+	svgText(&b, 16, 44, 12, svgInk2, "start", "", sub)
+	for i, s := range c.Series {
+		x := float64(8 + (i%2)*panelW)
+		y := float64(56 + (i/2)*panelH)
+		panel(&b, s, c.Duration, x, y, panelW, panelH)
+	}
+	b.WriteString("</svg>\n")
+	return []byte(b.String())
+}
+
+// WorkersSVG renders the per-worker utilization timeline as a Gantt
+// strip: one row per worker, one bar per busy window.
+func WorkersSVG(rows []WorkerRow, duration time.Duration) []byte {
+	const width = 960
+	const rowH, barH, top, left, right = 26, 14, 64, 120, 70
+	height := top + rowH*len(rows) + 40
+	plotW := float64(width - left - right)
+	sx := func(t time.Duration) float64 {
+		if duration <= 0 {
+			return float64(left)
+		}
+		return float64(left) + float64(t)/float64(duration)*plotW
+	}
+	var b strings.Builder
+	svgHeader(&b, width, height)
+	svgText(&b, 16, 26, 15, svgInk, "start", `font-weight="600"`, "Worker utilization")
+	svgText(&b, 16, 44, 12, svgInk2, "start", "",
+		fmt.Sprintf("busy windows over the %s run", fmtSeconds(duration)))
+	for i := 0; i <= 4; i++ {
+		t := duration * time.Duration(i) / 4
+		x := sx(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+			x, top-8, x, top+rowH*len(rows), svgGrid)
+		svgText(&b, x, float64(top+rowH*len(rows)+16), 10, svgMuted, "middle", `font-variant-numeric="tabular-nums"`, fmtSeconds(t))
+	}
+	for i, r := range rows {
+		y := float64(top + i*rowH)
+		svgText(&b, float64(left-8), y+float64(barH)-2.5, 11, svgInk2, "end", "", r.Worker)
+		for _, iv := range r.Intervals {
+			x0, x1 := sx(iv.From), sx(iv.To)
+			w := x1 - x0 - 2 // a 2px surface gap separates adjacent windows
+			if w < 1 {
+				w = 1
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%d" rx="2" fill="%s"><title>job %d</title></rect>`+"\n",
+				x0, y, w, barH, svgSeries, iv.Index)
+		}
+		svgText(&b, float64(width-right+8), y+float64(barH)-2.5, 11, svgInk, "start", `font-variant-numeric="tabular-nums"`,
+			fmt.Sprintf("%.0f%%", 100*r.Util))
+	}
+	b.WriteString("</svg>\n")
+	return []byte(b.String())
+}
+
+// LatencySVG renders the per-group mean wall times as a horizontal bar
+// chart with direct value labels.
+func LatencySVG(by GroupBy, rows []LatencyRow) []byte {
+	const width = 960
+	const rowH, barH, top, left, right = 30, 18, 64, 140, 110
+	height := top + rowH*len(rows) + 24
+	var max time.Duration
+	for _, r := range rows {
+		if r.Mean > max {
+			max = r.Mean
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	plotW := float64(width - left - right)
+	var b strings.Builder
+	svgHeader(&b, width, height)
+	svgText(&b, 16, 26, 15, svgInk, "start", `font-weight="600"`, "Mean job wall time by "+string(by))
+	svgText(&b, 16, 44, 12, svgInk2, "start", "", "per-group mean across all jobs, failed included")
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+		left, top-8, left, top+rowH*len(rows), svgBaseline)
+	for i, r := range rows {
+		y := float64(top + i*rowH)
+		w := float64(r.Mean) / float64(max) * plotW
+		if w < 1 {
+			w = 1
+		}
+		svgText(&b, float64(left-8), y+float64(barH)-4, 11, svgInk2, "end", "", r.Group)
+		fmt.Fprintf(&b, `<rect x="%d" y="%.1f" width="%.1f" height="%d" rx="4" fill="%s"/>`+"\n",
+			left, y, w, barH, svgSeries)
+		svgText(&b, float64(left)+w+8, y+float64(barH)-4, 11, svgInk, "start", `font-variant-numeric="tabular-nums"`,
+			r.Mean.Round(time.Millisecond).String())
+	}
+	b.WriteString("</svg>\n")
+	return []byte(b.String())
+}

@@ -1,0 +1,123 @@
+package analyze
+
+import (
+	"fmt"
+	"time"
+)
+
+// TrendOptions tunes CompareTrend's regression thresholds. Both
+// tolerances are one-sided relative bounds: only drops below the
+// baseline regress — a run that covers more than its baseline never
+// fails the gate.
+type TrendOptions struct {
+	// TotalTol bounds the allowed relative drop of each series' final
+	// total. The farm's totals are seed-deterministic, so the default 0
+	// demands exact equality or better.
+	TotalTol float64
+	// AUCTol bounds the allowed relative drop of each series'
+	// normalized area-under-curve — the shape of the coverage curve.
+	// Scheduling jitters shape even when totals are identical, so this
+	// defaults to DefaultAUCTol rather than 0.
+	AUCTol float64
+}
+
+// DefaultAUCTol is the default normalized-AUC drop tolerance: loose
+// enough to absorb worker-scheduling jitter between identical configs,
+// tight enough to flag a run whose coverage arrives materially later.
+const DefaultAUCTol = 0.35
+
+// SeriesDiff is one curve's baseline-vs-current comparison.
+type SeriesDiff struct {
+	Name                string
+	BaseFinal, CurFinal int
+	BaseAUC, CurAUC     float64
+	TotalDrop, AUCDrop  float64 // relative drops, 0 when equal or improved
+	Regressed           bool
+	Reason              string
+}
+
+// Trend is a full coverage-curve comparison.
+type Trend struct {
+	Base, Cur Coverage
+	Series    []SeriesDiff
+	Regressed bool
+}
+
+// CompareTrend diffs two runs' coverage curves series by series. Final
+// totals gate hard (deterministic); curve shape gates on normalized
+// AUC: each curve is rescaled to x in [0,1] (its own duration) and y in
+// [0,1] (its own final), so the AUC measures how front-loaded coverage
+// was, independent of absolute wall time and totals.
+func CompareTrend(base, cur Coverage, opt TrendOptions) Trend {
+	if opt.AUCTol == 0 {
+		opt.AUCTol = DefaultAUCTol
+	}
+	t := Trend{Base: base, Cur: cur}
+	for _, bs := range base.Series {
+		cs := cur.ByName(bs.Name)
+		d := SeriesDiff{
+			Name:      bs.Name,
+			BaseFinal: bs.Final(),
+			CurFinal:  cs.Final(),
+			BaseAUC:   normalizedAUC(bs, base.Duration),
+			CurAUC:    normalizedAUC(cs, cur.Duration),
+		}
+		d.TotalDrop = relDrop(float64(d.BaseFinal), float64(d.CurFinal))
+		d.AUCDrop = relDrop(d.BaseAUC, d.CurAUC)
+		switch {
+		case d.TotalDrop > opt.TotalTol:
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("final %d -> %d (-%.1f%% > %.1f%% tolerance)",
+				d.BaseFinal, d.CurFinal, 100*d.TotalDrop, 100*opt.TotalTol)
+		case d.AUCDrop > opt.AUCTol:
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("AUC %.3f -> %.3f (-%.1f%% > %.1f%% tolerance): coverage arrives later",
+				d.BaseAUC, d.CurAUC, 100*d.AUCDrop, 100*opt.AUCTol)
+		}
+		if d.Regressed {
+			t.Regressed = true
+		}
+		t.Series = append(t.Series, d)
+	}
+	return t
+}
+
+// relDrop is the one-sided relative drop from base to cur: 0 when cur
+// holds or improves, (base-cur)/base otherwise. A vanished baseline
+// (base 0) cannot drop.
+func relDrop(base, cur float64) float64 {
+	if base <= 0 || cur >= base {
+		return 0
+	}
+	return (base - cur) / base
+}
+
+// normalizedAUC integrates the step curve over x in [0,1] (time scaled
+// by duration) with y scaled by the final value. A constant-from-zero
+// curve scores 1; a curve that only reaches its total at the very end
+// scores near 0. Degenerate curves (no duration or zero final) score 0.
+func normalizedAUC(s Series, duration time.Duration) float64 {
+	final := s.Final()
+	if final <= 0 || duration <= 0 || len(s.Points) == 0 {
+		return 0
+	}
+	d := float64(duration)
+	var area float64
+	for i, p := range s.Points {
+		// The step holds p.Value from p.At until the next jump (or the
+		// run's end).
+		from := float64(p.At)
+		to := d
+		if i+1 < len(s.Points) {
+			to = float64(s.Points[i+1].At)
+		}
+		if to > d {
+			to = d
+		}
+		if to <= from {
+			continue
+		}
+		area += (to - from) / d * float64(p.Value) / float64(final)
+	}
+	return area
+}

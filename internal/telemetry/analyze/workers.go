@@ -1,0 +1,155 @@
+package analyze
+
+import (
+	"sort"
+	"time"
+)
+
+// timelineBuckets is the utilization timeline resolution: the run's
+// duration split into this many equal slots per worker.
+const timelineBuckets = 40
+
+// Interval is one busy window on a worker: a job's executor residency
+// (span Started..Finished).
+type Interval struct {
+	From, To time.Duration
+	// Index is the job that occupied the window.
+	Index int
+}
+
+// WorkerRow is one worker's utilization over the run.
+type WorkerRow struct {
+	Worker string
+	Jobs   int
+	// Busy is the union of the worker's busy windows — overlapping
+	// windows (the in-process executor runs one "local" worker per
+	// dispatcher) count once.
+	Busy time.Duration
+	// Util is Busy over the run duration, in [0, 1].
+	Util float64
+	// Timeline is the busy fraction of each of timelineBuckets equal
+	// slots of the run.
+	Timeline []float64
+	// Intervals are the raw busy windows, sorted by start.
+	Intervals []Interval
+}
+
+// WorkerTimelines reconstructs per-worker utilization from the job
+// spans. Jobs without spans (version-2 journals) yield no windows, so
+// the rows degrade to job counts. Rows sort by worker id.
+func (r *Run) WorkerTimelines() []WorkerRow {
+	byWorker := make(map[string][]Interval)
+	jobs := make(map[string]int)
+	for _, jd := range r.Jobs {
+		w := jd.Worker
+		if w == "" {
+			w = "(unknown)"
+		}
+		jobs[w]++
+		if jd.Span.IsZero() {
+			continue
+		}
+		iv := Interval{From: jd.Span.StartedNs, To: jd.Span.FinishedNs, Index: jd.Job.Index}
+		if iv.To < iv.From {
+			iv.To = iv.From
+		}
+		byWorker[w] = append(byWorker[w], iv)
+	}
+	names := make([]string, 0, len(jobs))
+	for name := range jobs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	rows := make([]WorkerRow, 0, len(names))
+	for _, name := range names {
+		ivs := byWorker[name]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].From < ivs[j].From })
+		row := WorkerRow{
+			Worker:    name,
+			Jobs:      jobs[name],
+			Busy:      unionLength(ivs),
+			Intervals: ivs,
+			Timeline:  occupancy(ivs, r.Duration, timelineBuckets),
+		}
+		if r.Duration > 0 {
+			row.Util = float64(row.Busy) / float64(r.Duration)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// unionLength sums the coverage of possibly-overlapping intervals
+// (sorted by start).
+func unionLength(ivs []Interval) time.Duration {
+	var total time.Duration
+	var curFrom, curTo time.Duration
+	open := false
+	for _, iv := range ivs {
+		if !open {
+			curFrom, curTo, open = iv.From, iv.To, true
+			continue
+		}
+		if iv.From > curTo {
+			total += curTo - curFrom
+			curFrom, curTo = iv.From, iv.To
+			continue
+		}
+		if iv.To > curTo {
+			curTo = iv.To
+		}
+	}
+	if open {
+		total += curTo - curFrom
+	}
+	return total
+}
+
+// occupancy computes the covered fraction of each of n equal slots of
+// [0, total] under the interval union.
+func occupancy(ivs []Interval, total time.Duration, n int) []float64 {
+	out := make([]float64, n)
+	if total <= 0 {
+		return out
+	}
+	slot := float64(total) / float64(n)
+	for i := range out {
+		lo := float64(i) * slot
+		hi := lo + slot
+		var covered float64
+		// Intervals are sorted but may overlap; accumulate the clipped
+		// union within the slot.
+		var curLo, curHi float64
+		open := false
+		for _, iv := range ivs {
+			f, t := float64(iv.From), float64(iv.To)
+			if t <= lo || f >= hi {
+				continue
+			}
+			if f < lo {
+				f = lo
+			}
+			if t > hi {
+				t = hi
+			}
+			if !open {
+				curLo, curHi, open = f, t, true
+				continue
+			}
+			if f > curHi {
+				covered += curHi - curLo
+				curLo, curHi = f, t
+				continue
+			}
+			if t > curHi {
+				curHi = t
+			}
+		}
+		if open {
+			covered += curHi - curLo
+		}
+		out[i] = covered / slot
+	}
+	return out
+}

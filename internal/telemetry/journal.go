@@ -16,13 +16,21 @@ import (
 const JournalFile = "journal.jsonl"
 
 // Record is the journal's line envelope: one JSON object per line with
-// a UTC timestamp, a record type tag and the type-specific payload.
-// The payload schemas are owned by the packages that write them (the
-// fleet package for farm records, this package for counter samples).
+// a UTC timestamp, a monotonic offset from the run's clock origin, a
+// record type tag and the type-specific payload. The payload schemas
+// are owned by the packages that write them (the fleet package for farm
+// records, this package for counter samples).
 type Record struct {
-	Time time.Time       `json:"time"`
-	Type string          `json:"type"`
-	Data json.RawMessage `json:"data"`
+	Time time.Time `json:"time"`
+	// Offset is the record's position on the run's monotonic clock:
+	// nanoseconds since the journal's epoch (the farm's start time once
+	// SetEpoch is called, the journal's creation time before). Unlike
+	// Time — a wall-clock reading that can step mid-run — offsets are
+	// monotone across the whole journal, so analyzers derive their time
+	// axis from them.
+	Offset time.Duration   `json:"offsetNs"`
+	Type   string          `json:"type"`
+	Data   json.RawMessage `json:"data"`
 }
 
 // RecordSample is the record type of periodic CounterSnapshot samples
@@ -34,18 +42,19 @@ const RecordSample = "sample"
 // every later call becomes a no-op, so a full disk mid-run degrades to
 // a truncated journal plus a non-nil Err rather than a crashed farm.
 type Journal struct {
-	mu  sync.Mutex
-	w   io.Writer
-	c   io.Closer
-	dir string
-	now func() time.Time
-	err error
+	mu    sync.Mutex
+	w     io.Writer
+	c     io.Closer
+	dir   string
+	now   func() time.Time
+	epoch time.Time
+	err   error
 }
 
 // NewJournal wraps an arbitrary writer as a journal. Close does not
 // close the writer.
 func NewJournal(w io.Writer) *Journal {
-	return &Journal{w: w, now: time.Now}
+	return &Journal{w: w, now: time.Now, epoch: time.Now()}
 }
 
 // OpenJournal creates dir (and parents) and opens a fresh JournalFile
@@ -72,10 +81,25 @@ func OpenJournal(dir string) (*Journal, error) {
 func (j *Journal) Dir() string { return j.dir }
 
 // SetClock replaces the timestamp source; tests pin it for byte-stable
-// goldens.
+// goldens. The offset epoch is re-based onto the new clock (consuming
+// one reading), so pinned clocks yield deterministic offsets too.
 func (j *Journal) SetClock(now func() time.Time) {
 	j.mu.Lock()
 	j.now = now
+	j.epoch = now()
+	j.mu.Unlock()
+}
+
+// SetEpoch re-bases every later record's Offset onto t — the one
+// monotonic clock origin of the run. The farm calls it with its own
+// start time when it writes the journal header, so counter samples,
+// event records and the per-job trace spans inside them all measure
+// time from the same instant; without it offsets count from the
+// journal's creation, which can precede the farm by however long the
+// caller took to wire things up.
+func (j *Journal) SetEpoch(t time.Time) {
+	j.mu.Lock()
+	j.epoch = t
 	j.mu.Unlock()
 }
 
@@ -91,7 +115,15 @@ func (j *Journal) Write(typ string, data any) error {
 	if j.err != nil {
 		return j.err
 	}
-	line, err := json.Marshal(Record{Time: j.now().UTC(), Type: typ, Data: payload})
+	now := j.now()
+	off := now.Sub(j.epoch)
+	if off < 0 {
+		// A record predating the epoch (written before the farm re-based
+		// it) clamps to zero rather than going negative: analyzers treat
+		// offsets as positions on the run's time axis.
+		off = 0
+	}
+	line, err := json.Marshal(Record{Time: now.UTC(), Offset: off, Type: typ, Data: payload})
 	if err != nil {
 		j.err = fmt.Errorf("telemetry: marshal %s envelope: %w", typ, err)
 		return j.err

@@ -1,0 +1,98 @@
+package telemetry_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"l2fuzz/internal/fleet"
+	"l2fuzz/internal/telemetry"
+)
+
+// TestServeUnderLiveFarm scrapes the metrics endpoint while a farm is
+// actually running — the shape cmd/l2farm wires up — so the handler's
+// reads race against the fold loop's counter writes and the snapshot
+// closure under the race detector.
+func TestServeUnderLiveFarm(t *testing.T) {
+	counters := &telemetry.Counters{}
+	farm, err := fleet.Start(fleet.Config{
+		Devices:          []string{"D2", "D5"},
+		Kinds:            []fleet.Kind{fleet.KindL2Fuzz, fleet.KindRFCOMM},
+		Shards:           2,
+		BaseSeed:         7,
+		Workers:          2,
+		MaxPacketsPerJob: 50_000,
+		Counters:         counters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := telemetry.Serve("127.0.0.1:0", telemetry.ServerConfig{
+		Counters: counters,
+		Snapshot: func() any { return farm.Snapshot() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Scrape both endpoints repeatedly while jobs are in flight.
+	sawMidRun := false
+	for i := 0; i < 20; i++ {
+		body := get(t, srv.Addr, "/metrics")
+		if !strings.Contains(body, "l2farm_packets_total") {
+			t.Fatalf("metrics scrape %d lacks l2farm_packets_total:\n%s", i, body)
+		}
+		var rep fleet.Report
+		if err := json.Unmarshal([]byte(get(t, srv.Addr, "/snapshot")), &rep); err != nil {
+			t.Fatalf("snapshot scrape %d is not a Report: %v", i, err)
+		}
+		if done := rep.Completed + rep.Failed; done > 8 || done != len(rep.Jobs) {
+			t.Fatalf("snapshot scrape %d inconsistent: %d completed + %d failed over %d job results",
+				i, rep.Completed, rep.Failed, len(rep.Jobs))
+		}
+		if rep.Completed+rep.Failed < 8 {
+			sawMidRun = true
+		}
+	}
+
+	final := farm.Wait()
+	if !sawMidRun {
+		t.Log("farm finished before any scrape landed mid-run; raced scrapes still exercised the handler")
+	}
+
+	// After the run, the endpoints serve the settled totals.
+	metrics := get(t, srv.Addr, "/metrics")
+	want := fmt.Sprintf("l2farm_packets_total %d", counters.Snapshot().Packets)
+	if !strings.Contains(metrics, want) {
+		t.Errorf("final metrics scrape lacks %q", want)
+	}
+	var rep fleet.Report
+	if err := json.Unmarshal([]byte(get(t, srv.Addr, "/snapshot")), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != final.Completed || rep.TotalPackets != final.TotalPackets {
+		t.Errorf("final snapshot (%d completed, %d packets) disagrees with Wait's report (%d completed, %d packets)",
+			rep.Completed, rep.TotalPackets, final.Completed, final.TotalPackets)
+	}
+}
+
+func get(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s\n%s", path, resp.Status, body)
+	}
+	return string(body)
+}

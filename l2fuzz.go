@@ -93,6 +93,12 @@
 //	    Counters: ctr,
 //	    Snapshot: func() any { return farm.Snapshot() },
 //	})
+//
+// A recorded journal is also the input to post-hoc analytics: every
+// record carries a monotonic offset from the farm's start and every
+// job result a FleetSpan trace, and cmd/l2journal renders the paper's
+// coverage-over-time figures, latency breakdowns and per-worker
+// utilization from journal.jsonl alone.
 package l2fuzz
 
 import (
@@ -178,6 +184,12 @@ type (
 	FleetJob = fleet.Job
 	// FleetJobResult is the outcome of one farm job.
 	FleetJobResult = fleet.JobResult
+	// FleetSpan traces one farm job through the scheduling phases —
+	// queued, dispatched, started, finished, plus the worker-measured
+	// execution time — as monotonic offsets from the farm's start.
+	// Journals persist it per job result; `l2journal latency` and
+	// `l2journal workers` render the derived figures.
+	FleetSpan = fleet.Span
 	// FleetFinding is one de-duplicated farm finding with provenance.
 	FleetFinding = fleet.FindingRecord
 	// FleetKind selects the fuzzer a farm job runs.
